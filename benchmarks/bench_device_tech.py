@@ -1,0 +1,28 @@
+"""Device-technology extension study (§6's DRAM-NVM outlook).
+
+Shape: FlatFlash beats paging on every device generation, and from
+low-latency flash toward NVM-class media the YCSB advantage *grows* — the
+faster the medium, the more the paging software path dominates the
+baseline, which is the paper's argument that these techniques carry over
+to DRAM-NVM hierarchies.
+"""
+
+from repro.experiments import device_tech
+
+
+def test_device_technology_sweep(once):
+    result = once(device_tech.run, num_ops=4_000)
+    device_tech.render(result).print()
+
+    # FlatFlash wins on every generation and workload.
+    for row in result.rows:
+        assert row["speedup"] > 1.0, f"{row['device']}/{row['workload']}"
+
+    # From low-latency flash to XPoint-class, the YCSB advantage grows.
+    ycsb = [
+        row["speedup"]
+        for row in result.rows
+        if row["workload"] == "YCSB-B" and row["device"] != "NAND flash"
+    ]
+    assert ycsb == sorted(ycsb)
+    assert ycsb[-1] > ycsb[0]

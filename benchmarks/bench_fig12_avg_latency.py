@@ -1,0 +1,33 @@
+"""Figure 12: YCSB-B/D mean latency and cache hit ratio.
+
+Paper shape: FlatFlash improves the mean by 1.1-1.4x vs UnifiedMMap and
+1.2-3.2x vs TraditionalStack; hit-ratio lines explain the gap — locality
+is served from DRAM/caches while the random remainder rides byte-granular
+MMIO instead of paging.
+"""
+
+from repro.experiments import fig11_12
+
+
+def test_fig12_average_latency(once):
+    result = once(fig11_12.run, ws_ratios=[4, 8, 16], num_ops=6_000)
+    fig11_12.render(result).print()
+
+    for row in result.filtered(system="FlatFlash"):
+        unified = result.filtered(
+            system="UnifiedMMap", workload=row["workload"], ws_ratio=row["ws_ratio"]
+        )[0]
+        traditional = result.filtered(
+            system="TraditionalStack", workload=row["workload"], ws_ratio=row["ws_ratio"]
+        )[0]
+        # Mean latency ordering.
+        assert row["mean_ns"] < unified["mean_ns"] < traditional["mean_ns"]
+
+    # Mean latency grows as the working set outgrows DRAM (both systems).
+    for system in ("FlatFlash", "UnifiedMMap"):
+        for workload in ("YCSB-B", "YCSB-D"):
+            series = [
+                row["mean_ns"]
+                for row in result.filtered(system=system, workload=workload)
+            ]
+            assert series[0] < series[-1]

@@ -1,0 +1,43 @@
+"""Figure 9: HPCC-GUPS throughput and SSD-Cache sensitivity.
+
+Paper shape: (a) FlatFlash 1.5-1.6x faster than UnifiedMMap and 2.5-2.7x
+faster than TraditionalStack, with fewer SSD<->DRAM page movements;
+(b) FlatFlash's edge *grows* with the SSD-Cache size while the paging
+baselines cannot use the SSD-Cache at all.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9a_gups_throughput(once):
+    result = once(fig9.run_fig9a, ratios=[16, 128, 512], num_updates=8_000)
+    fig9.render_fig9a(result).print()
+    for ratio in (16, 128, 512):
+        flat = result.filtered(ratio=ratio, system="FlatFlash")[0]
+        unified = result.filtered(ratio=ratio, system="UnifiedMMap")[0]
+        traditional = result.filtered(ratio=ratio, system="TraditionalStack")[0]
+        # Performance ordering: FlatFlash < UnifiedMMap < TraditionalStack
+        # in per-update time.
+        assert flat["mean_update_ns"] < unified["mean_update_ns"]
+        assert unified["mean_update_ns"] < traditional["mean_update_ns"]
+        # Page movements: FlatFlash avoids migrating low-reuse pages.
+        assert flat["page_movements"] < unified["page_movements"]
+    # Magnitude: within the paper's ballpark (1.5-2.7x band, loosely).
+    speedup = (
+        result.filtered(ratio=512, system="UnifiedMMap")[0]["mean_update_ns"]
+        / result.filtered(ratio=512, system="FlatFlash")[0]["mean_update_ns"]
+    )
+    assert 1.2 < speedup < 4.0
+
+
+def test_fig9b_ssd_cache_sensitivity(once):
+    result = once(
+        fig9.run_fig9b,
+        cache_ratios=[0.0005, 0.00125, 0.005, 0.02],
+        num_updates=6_000,
+    )
+    fig9.render_fig9b(result).print()
+    speedups = [row["speedup_vs_unified"] for row in result.rows]
+    # Monotone (non-decreasing) benefit with a larger SSD-Cache.
+    assert all(b >= a * 0.98 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > speedups[0]

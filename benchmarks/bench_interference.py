@@ -1,0 +1,31 @@
+"""Workload-interference study (§5.4's DRAM-pollution claim).
+
+Shape: with a thrashing co-runner, FlatFlash's victim keeps both the best
+absolute latency and the smallest degradation — the adaptive threshold
+refuses to promote the antagonist's low-reuse pages, so the victim's hot
+set stays in DRAM while the paging baselines keep re-admitting antagonist
+pages through the fault path.
+"""
+
+from repro.experiments import interference
+
+
+def test_interference_isolation(once):
+    result = once(interference.run, num_ops=3_000)
+    interference.render(result).print()
+
+    rows = {row["system"]: row for row in result.rows}
+    flat = rows["FlatFlash"]
+    unified = rows["UnifiedMMap"]
+    traditional = rows["TraditionalStack"]
+
+    # Absolute victim latency under load: FlatFlash clearly ahead.
+    assert flat["loaded_mean_ns"] * 1.8 < unified["loaded_mean_ns"]
+    assert flat["loaded_mean_ns"] * 2.0 < traditional["loaded_mean_ns"]
+    assert flat["loaded_p99_ns"] < unified["loaded_p99_ns"]
+
+    # Relative degradation: FlatFlash suffers no more than the baselines.
+    assert flat["p99_blowup"] <= unified["p99_blowup"] + 0.01
+    flat_mean_blowup = flat["loaded_mean_ns"] / flat["alone_mean_ns"]
+    unified_mean_blowup = unified["loaded_mean_ns"] / unified["alone_mean_ns"]
+    assert flat_mean_blowup < unified_mean_blowup

@@ -1,0 +1,19 @@
+"""The reproduction scorecard: every abstract claim, one verdict each.
+
+The gate for the whole harness: no claim may FAIL, and the
+latency/performance claims must at least land inside the paper's reported
+ranges.
+"""
+
+from repro.experiments import scorecard
+
+
+def test_scorecard_no_failures(once):
+    result = once(scorecard.run)
+    scorecard.render(result).print()
+    for row in result.rows:
+        assert row["verdict"] != "FAILS", row["claim"]
+        assert row["verdict"] != "PARTIAL", row["claim"]
+        assert row["measured"] > 1.0
+    strong = sum(1 for row in result.rows if row["verdict"] == "STRONG")
+    assert strong >= 2  # several claims should land near the paper's best

@@ -1,0 +1,22 @@
+"""Table 1: the summary improvements over UnifiedMMap, all workloads."""
+
+from repro.experiments import table1
+
+
+def test_table1_summary(once):
+    result = once(table1.run)
+    table1.render(result).print()
+
+    by_benchmark = {row["benchmark"]: row for row in result.rows}
+
+    # Every workload: FlatFlash at least matches UnifiedMMap on performance.
+    for benchmark, row in by_benchmark.items():
+        assert row["measured_perf"] >= 0.95, f"{benchmark} regressed"
+
+    # The headline wins of Table 1 reproduce as wins.
+    for benchmark in ("GUPS", "YCSB-B", "CreateFile", "VarMail", "TPCB"):
+        assert by_benchmark[benchmark]["measured_perf"] > 1.2, benchmark
+
+    # Lifetime: file-system workloads must show large flash-write savings.
+    assert by_benchmark["CreateFile"]["measured_lifetime"] > 2.0
+    assert by_benchmark["VarMail"]["measured_lifetime"] > 2.0

@@ -1,0 +1,13 @@
+"""Table 2: component latencies — measured through the public interfaces."""
+
+from repro.experiments import table2
+
+
+def test_table2_component_latencies(once):
+    result = once(table2.run)
+    table2.render(result).print()
+    for row in result.rows:
+        assert row["measured_us"] == row["paper_us"], (
+            f"{row['component']}: measured {row['measured_us']}us, "
+            f"paper says {row['paper_us']}us"
+        )

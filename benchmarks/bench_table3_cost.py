@@ -1,0 +1,20 @@
+"""Table 3: cost-effectiveness of FlatFlash vs a DRAM-only configuration.
+
+Paper shape: FlatFlash is 1.2-11x slower but 2.4-15x cheaper, netting
+1.3-3.8x better performance-per-dollar for every workload.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_cost_effectiveness(once):
+    result = once(table3.run)
+    table3.render(result).print()
+
+    for row in result.rows:
+        # DRAM-only is always faster...
+        assert row["slowdown"] > 1.0, row["workload"]
+        # ...but FlatFlash is always cheaper...
+        assert row["cost_saving"] > 1.0, row["workload"]
+        # ...and wins on performance per dollar (the paper's conclusion).
+        assert row["cost_effectiveness"] > 1.0, row["workload"]

@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment once under pytest-benchmark (the
+simulator is deterministic, so one round is exact), prints the
+paper-shaped table, and asserts the qualitative *shape* the paper reports
+— who wins, roughly by how much, where the crossovers are.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

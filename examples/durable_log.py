@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Byte-granular persistence: a crash-consistent write-ahead log (§3.5).
+
+Builds a tiny durable log on a FlatFlash persistent memory region, commits
+some records, leaves one un-fenced, crashes the machine, and shows what
+recovery sees: committed records survive in the battery-backed domain, the
+un-fenced record does not.
+
+Run:  python examples/durable_log.py
+"""
+
+import struct
+
+from repro import FlatFlash, create_pmem_region, small_config
+
+RECORD = struct.Struct("<I28s")  # length-prefixed 32-byte log records
+
+
+def write_record(pmem, offset: int, payload: bytes, fence: bool) -> int:
+    data = RECORD.pack(len(payload), payload.ljust(28, b"\x00"))
+    pmem.persist_store(offset, RECORD.size, data)
+    if fence:
+        pmem.commit()  # write-verify read: durable past this point
+    return offset + RECORD.size
+
+
+def read_back(pmem, count: int):
+    for index in range(count):
+        raw = pmem.recover_bytes(index * RECORD.size, RECORD.size)
+        length, payload = RECORD.unpack(raw)
+        yield payload[:length].decode() if length else "(empty)"
+
+
+def main() -> None:
+    system = FlatFlash(small_config())
+    pmem = create_pmem_region(system, num_pages=4, name="wal")
+    print(f"persistent region: {pmem.size} bytes, pages pinned to the SSD\n")
+
+    cost_us = pmem.durable_store(2_048, 8) / 1_000
+    print(f"for scale: one fully durable 8-byte update costs {cost_us:.1f} us —")
+    print("a block-interface journal write would cost a full 4 KB page\n")
+
+    offset = 0
+    offset = write_record(pmem, offset, b"txn-1: alice +=100", fence=True)
+    offset = write_record(pmem, offset, b"txn-2: bob -=100", fence=True)
+    offset = write_record(pmem, offset, b"txn-3: UNFENCED", fence=False)
+    print("wrote 3 records; txn-3 was posted but never fenced")
+
+    system.ssd.crash()
+    print("power failure! battery-backed SSD-Cache destages, posted writes die\n")
+
+    print("recovery reads the log from flash:")
+    for index, text in enumerate(read_back(pmem, 3), start=1):
+        status = "SURVIVED" if not text.startswith("(") else "LOST"
+        print(f"  record {index}: {text!r:30} [{status}]")
+
+
+if __name__ == "__main__":
+    main()

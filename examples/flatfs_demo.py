@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""FlatFS: a working file system on byte-granular persistence (§3.5).
+
+Creates directories and files, crashes the machine mid-stream, recovers by
+replaying the logical redo journal, and shows what each metadata operation
+cost compared to a block-journaling file system.
+
+Run:  python examples/flatfs_demo.py
+"""
+
+from repro import FlatFlash, UnifiedMMap, small_config
+from repro.apps.filesystem import FileSystemKind, make_filesystem
+from repro.apps.flatfs import FlatFS
+from repro.workloads.filebench import CREATE_FILE, repeated_ops
+
+
+def build_fs() -> FlatFS:
+    config = small_config()
+    config.geometry.dram_pages = 32
+    config.geometry.ssd_pages = 8_192
+    config.geometry.ssd_cache_pages = 64
+    return FlatFS(FlatFlash(config.validate()), num_inodes=32, data_blocks=48)
+
+
+def main() -> None:
+    fs = build_fs()
+    print("=== 1. A real namespace on unified memory ===")
+    fs.mkdir("/projects")
+    fs.create("/projects/paper.tex")
+    fs.write_file("/projects/paper.tex", b"\\title{FlatFlash}" * 40)
+    fs.rename("/projects/paper.tex", "/projects/camera-ready.tex")
+    print("  /projects ->", fs.listdir("/projects"))
+    print("  size:", fs.stat("/projects/camera-ready.tex")["size"], "bytes")
+
+    print("\n=== 2. Crash mid-workload, then redo-journal recovery ===")
+    fs.create("/projects/reviews.md")
+    fs.create("/scratch")  # these two ops are journaled but not checkpointed
+    fs.system.ssd.crash()
+    redone = fs.recover()
+    print(f"  recovered by replaying {redone} journaled ops")
+    print("  / ->", fs.listdir("/"))
+    print("  /projects ->", fs.listdir("/projects"))
+    data = fs.read_file("/projects/camera-ready.tex")
+    print("  file contents intact:", data[:17], f"({len(data)} bytes)")
+
+    print("\n=== 3. What did metadata persistence cost? ===")
+    start = fs.system.clock.now
+    for index in range(20):
+        fs.create(f"/scratch-file-{index}")
+    flatfs_us = (fs.system.clock.now - start) / 20 / 1_000
+
+    block = make_filesystem(FileSystemKind.EXT4, UnifiedMMap(small_config()))
+    outcome = block.run(repeated_ops(CREATE_FILE, 20))
+    print(f"  FlatFS create (byte-granular journal): {flatfs_us:6.1f} us/op")
+    print(f"  EXT4-model create (block journal):     {outcome.mean_op_ns / 1_000:6.1f} us/op")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""FlatFlash reproduction: byte-addressable SSDs in a unified memory hierarchy.
+
+Public API::
+
+    from repro import FlatFlash, FlatFlashConfig, small_config
+    from repro import TraditionalStack, UnifiedMMap, DRAMOnly
+    from repro import create_pmem_region
+
+    system = FlatFlash(small_config())
+    region = system.mmap(num_pages=128)
+    system.store(region.addr(0), 64, b"x" * 64)
+    result = system.load(region.addr(0), 64)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.baselines import DRAMOnly, TraditionalStack, UnifiedMMap
+from repro.config import (
+    FlatFlashConfig,
+    GeometryConfig,
+    LatencyConfig,
+    PromotionConfig,
+    small_config,
+)
+from repro.core import (
+    AccessResult,
+    FlatFlash,
+    MappedRegion,
+    MemorySystem,
+    PersistentRegion,
+    PromotionManager,
+    create_pmem_region,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlatFlash",
+    "TraditionalStack",
+    "UnifiedMMap",
+    "DRAMOnly",
+    "MemorySystem",
+    "MappedRegion",
+    "AccessResult",
+    "PersistentRegion",
+    "create_pmem_region",
+    "PromotionManager",
+    "FlatFlashConfig",
+    "GeometryConfig",
+    "LatencyConfig",
+    "PromotionConfig",
+    "small_config",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Analysis helpers: cost-effectiveness, SSD lifetime, report tables."""
+
+from repro.analysis.cost import CostModel, cost_effectiveness
+from repro.analysis.lifetime import lifetime_improvement, write_amplification
+from repro.analysis.report import Table, format_ratio
+
+__all__ = [
+    "CostModel",
+    "cost_effectiveness",
+    "write_amplification",
+    "lifetime_improvement",
+    "Table",
+    "format_ratio",
+]

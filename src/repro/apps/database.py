@@ -1,0 +1,231 @@
+"""A miniature transactional engine for the logging study (§3.5, §5.6).
+
+Transactions read and update records of a mapped table, then make their
+commit log durable.  Two logging disciplines are modelled (Fig. 7):
+
+* **CENTRALIZED** — one shared log buffer guarded by a lock; every commit
+  serializes on it (the multi-core logging bottleneck the paper cites).
+* **PER_TRANSACTION** — decentralized logs, one slice per worker, commits
+  issued concurrently.
+
+The durability cost per commit depends on the system underneath:
+
+* block systems (TraditionalStack / UnifiedMMap) must write a whole log
+  *page* per commit through the storage stack, and the flash program
+  occupies one of the SSD's write channels;
+* FlatFlash persists just the log record's bytes with posted MMIO writes
+  plus one write-verify fence into the battery-backed SSD-Cache — no flash
+  program on the commit path at all.
+
+Thread interleaving and lock contention run on the discrete-event
+simulator (:mod:`repro.sim.des`); memory-access service times come from
+the shared memory system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.hierarchy import FlatFlash
+from repro.core.memory_system import MemorySystem
+from repro.core.persistence import create_pmem_region
+from repro.sim.des import (
+    Acquire,
+    AcquireSlot,
+    Delay,
+    Lock,
+    Release,
+    ReleaseSlot,
+    Semaphore,
+    Simulator,
+)
+from repro.workloads.oltp import Transaction, TransactionSpec, generate_transactions
+
+
+class LoggingScheme(enum.Enum):
+    CENTRALIZED = "centralized"
+    PER_TRANSACTION = "per-transaction"
+
+
+@dataclass
+class OLTPResult:
+    """Outcome of one multi-threaded OLTP run."""
+
+    workload: str
+    system: str
+    scheme: str
+    threads: int
+    transactions: int
+    elapsed_ns: int
+    log_lock_contention: float
+
+    @property
+    def throughput_tps(self) -> float:
+        """Transactions per simulated second."""
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.transactions * 1e9 / self.elapsed_ns
+
+
+class MiniDB:
+    """The engine: table + logging on top of any memory system."""
+
+    def __init__(
+        self,
+        system: MemorySystem,
+        scheme: LoggingScheme = LoggingScheme.PER_TRANSACTION,
+        table_pages: int = 256,
+        log_pages: int = 64,
+    ) -> None:
+        self.system = system
+        self.scheme = scheme
+        self.table = system.mmap(table_pages, name="db.table")
+        self.is_flatflash = isinstance(system, FlatFlash)
+        device = getattr(system, "ssd", None)
+        self.flash_channels = (
+            device.flash.num_channels if device is not None else 8
+        )
+        if self.is_flatflash:
+            self.log_pmem = create_pmem_region(system, log_pages, name="db.log")
+        else:
+            self.log_region = system.mmap(log_pages, name="db.log")
+            self._log_cursor = 0
+        self._commits = system.stats.counter("db.commits")
+
+    # ------------------------------------------------------------------ #
+    # Commit cost model
+    # ------------------------------------------------------------------ #
+
+    def _commit_costs(self, log_bytes: int) -> tuple:
+        """(software_ns, channel_held_ns, post_ns) for one commit.
+
+        ``channel_held_ns`` is spent holding a flash write channel;
+        ``software_ns`` and ``post_ns`` run without holding it.
+        """
+        latency = self.system.config.latency
+        if self.is_flatflash:
+            # Byte-granular durable write: posted MMIO lines + verify fence.
+            line = self.system.config.geometry.cacheline_size
+            lines = -(-log_bytes // line)
+            post = lines * latency.mmio_write_cacheline_ns + latency.mmio_verify_read_ns
+            return 0, 0, post
+        # Block interface: one log page through the storage software stack;
+        # the flash program pipelines across the device's write channels.
+        if self.system.name == "TraditionalStack":
+            software = latency.traditional_fault_software_ns + latency.ftl_lookup_ns
+        else:
+            software = latency.unified_fault_software_ns
+        # The sequential log's channel is held for the page program, but
+        # concurrent small records share pages (group commit): the smaller
+        # the record, the more commits one page write covers.
+        page = self.system.config.geometry.page_size
+        group = max(1, min(page // max(64, log_bytes), 16))
+        held = latency.flash_program_page_ns // group
+        post = latency.dma_page_transfer_ns
+        return software, held, post
+
+    def _record_log_write(self, log_bytes: int) -> None:
+        """Apply the log write to the backing store (data/traffic effects)."""
+        if self.is_flatflash:
+            offset = (self._commits.value * 64) % max(64, self.log_pmem.size - 2_048)
+            # Timing is charged by the DES; only record traffic/data here.
+            self.log_pmem.persist_store(offset, min(log_bytes, 1_024))
+            self.log_pmem.commit()
+        else:
+            device = getattr(self.system, "ssd", None)
+            if device is not None:
+                lpn = self.log_region.base_vpn + (
+                    self._log_cursor % self.log_region.num_pages
+                )
+                self._log_cursor += 1
+                device.write_page_block(lpn, None)
+        self._commits.add()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        transactions: List[Transaction],
+        num_threads: int,
+    ) -> OLTPResult:
+        """Execute transactions on ``num_threads`` workers; returns timings."""
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be > 0, got {num_threads}")
+        if not transactions:
+            raise ValueError("no transactions to run")
+        sim = Simulator()
+        log_lock = Lock("central-log")
+        # The block systems' log is one sequential file: consecutive log
+        # pages land in the same flash block, hence the same channel — so
+        # concurrent commits contend on a single write channel regardless
+        # of how many channels the device has.
+        log_channel = Semaphore(1, "log-channel")
+        system = self.system
+        table = self.table
+
+        def worker(mine: List[Transaction], worker_id: int):
+            for tx in mine:
+                yield Delay(tx.spec.compute_ns)
+                for offset in tx.read_offsets:
+                    result = system.load(table.addr(offset % table.size), 64)
+                    yield Delay(result.latency_ns)
+                for offset in tx.write_offsets:
+                    result = system.store(table.addr(offset % table.size), 64)
+                    yield Delay(result.latency_ns)
+                software, held, post = self._commit_costs(tx.log_bytes)
+                if software:
+                    yield Delay(software)
+                if self.scheme is LoggingScheme.CENTRALIZED:
+                    yield Acquire(log_lock)
+                if held:
+                    yield AcquireSlot(log_channel)
+                    yield Delay(held)
+                    yield ReleaseSlot(log_channel)
+                if post:
+                    yield Delay(post)
+                self._record_log_write(tx.log_bytes)
+                if self.scheme is LoggingScheme.CENTRALIZED:
+                    yield Release(log_lock)
+
+        shards: List[List[Transaction]] = [[] for _ in range(num_threads)]
+        for index, tx in enumerate(transactions):
+            shards[index % num_threads].append(tx)
+        for worker_id, shard in enumerate(shards):
+            if shard:
+                sim.spawn(worker(shard, worker_id))
+        elapsed = sim.run()
+        return OLTPResult(
+            workload=transactions[0].spec.name,
+            system=system.name,
+            scheme=self.scheme.value,
+            threads=num_threads,
+            transactions=len(transactions),
+            elapsed_ns=elapsed,
+            log_lock_contention=log_lock.contention_ratio,
+        )
+
+
+def run_oltp(
+    system: MemorySystem,
+    spec: TransactionSpec,
+    num_transactions: int,
+    num_threads: int,
+    scheme: LoggingScheme = LoggingScheme.PER_TRANSACTION,
+    table_pages: int = 256,
+    seed: int = 17,
+) -> OLTPResult:
+    """Convenience: build a MiniDB, generate transactions, run them."""
+    import numpy as np
+
+    database = MiniDB(system, scheme=scheme, table_pages=table_pages)
+    transactions = generate_transactions(
+        spec,
+        num_transactions,
+        table_bytes=database.table.size,
+        rng=np.random.default_rng(seed),
+    )
+    return database.run(transactions, num_threads)

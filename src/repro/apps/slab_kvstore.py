@@ -1,0 +1,260 @@
+"""A Redis-like hash-indexed KV store with slab-allocated values.
+
+Where :class:`~repro.apps.kvstore.KVStore` is the fixed-record array the
+latency experiments use, this is the structure a real in-memory store
+keeps: an open-addressing hash index plus size-classed slabs, *all of it
+living in unified memory* — every probe, allocation and free issues real
+loads/stores through the hierarchy.
+
+Layout:
+
+* **index region** — open-addressing table of 16-byte slots
+  ``(key u64, packed location u64)``; linear probing; key 0 reserved as
+  the empty marker (user keys are offset by one internally).
+* **slab regions** — one per size class; each slab slot holds
+  ``u16 length | payload``.  Freed slots chain through an in-memory free
+  list head (stored in the region's first slot) using the length field's
+  high bit as a "free" tag and the payload's first 8 bytes as the next
+  pointer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.memory_system import MemorySystem
+
+_SLOT = struct.Struct("<QQ")  # key+1, packed location
+_LEN = struct.Struct("<H")
+_PTR = struct.Struct("<Q")
+_FREE_TAG = 0x8000
+_NIL = (1 << 64) - 1
+
+#: Value size classes (bytes of payload capacity per slab slot).
+SIZE_CLASSES = (64, 128, 256, 512)
+
+
+class StoreFullError(RuntimeError):
+    """Raised when the index or the needed slab class is exhausted."""
+
+
+class _Slab:
+    """One size class: fixed slots of ``2 + capacity`` bytes."""
+
+    def __init__(self, system: MemorySystem, capacity: int, slots: int, name: str) -> None:
+        self.system = system
+        self.capacity = capacity
+        self.slot_size = 2 + capacity
+        self.slots = slots
+        total = slots * self.slot_size
+        self.region = system.mmap(
+            -(-total // system.page_size), name=f"{name}.slab{capacity}"
+        )
+        self._bump = 0  # never-allocated frontier
+        self._free_head = _NIL
+
+    def _slot_addr(self, slot: int, offset: int = 0) -> int:
+        return self.region.addr(slot * self.slot_size + offset)
+
+    def allocate(self, payload: bytes) -> int:
+        """Store a payload; returns the slot index."""
+        if len(payload) > self.capacity:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds class {self.capacity}"
+            )
+        if self._free_head != _NIL:
+            slot = self._free_head
+            raw = self.system.load(self._slot_addr(slot, 2), 8).data
+            self._free_head = _PTR.unpack(raw)[0] if raw else _NIL
+        elif self._bump < self.slots:
+            slot = self._bump
+            self._bump += 1
+        else:
+            raise StoreFullError(f"slab class {self.capacity} exhausted")
+        self.system.store(self._slot_addr(slot, 0), 2, _LEN.pack(len(payload)))
+        if payload:
+            self.system.store(self._slot_addr(slot, 2), len(payload), payload)
+        return slot
+
+    def read(self, slot: int) -> Optional[bytes]:
+        raw = self.system.load(self._slot_addr(slot, 0), 2).data
+        if raw is None:
+            return None
+        length = _LEN.unpack(raw)[0]
+        if length & _FREE_TAG:
+            raise KeyError(f"slab slot {slot} is free")
+        if length == 0:
+            return b""
+        data = self.system.load(self._slot_addr(slot, 2), length).data
+        return data
+
+    def free(self, slot: int) -> None:
+        self.system.store(self._slot_addr(slot, 0), 2, _LEN.pack(_FREE_TAG))
+        self.system.store(self._slot_addr(slot, 2), 8, _PTR.pack(self._free_head))
+        self._free_head = slot
+
+    @property
+    def live_slots(self) -> int:
+        free = 0
+        head = self._free_head
+        while head != _NIL:
+            free += 1
+            raw = self.system.load(self._slot_addr(head, 2), 8).data
+            head = _PTR.unpack(raw)[0] if raw else _NIL
+        return self._bump - free
+
+
+class SlabKVStore:
+    """Hash index + slabs, entirely on a memory system."""
+
+    def __init__(
+        self,
+        system: MemorySystem,
+        capacity: int = 1_024,
+        slots_per_class: Optional[int] = None,
+        name: str = "slabkv",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if system.config.track_data is False:
+            raise ValueError("SlabKVStore needs track_data=True (it stores real bytes)")
+        self.system = system
+        # Index sized to <=50% load factor, power of two for cheap masking.
+        buckets = 1
+        while buckets < capacity * 2:
+            buckets *= 2
+        self.buckets = buckets
+        index_bytes = buckets * _SLOT.size
+        self.index_region = system.mmap(
+            -(-index_bytes // system.page_size), name=f"{name}.index"
+        )
+        if slots_per_class is None:
+            slots_per_class = capacity
+        self.slabs: List[_Slab] = [
+            _Slab(system, size, slots_per_class, name) for size in SIZE_CLASSES
+        ]
+        self._size = 0
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------ #
+    # Index slots
+    # ------------------------------------------------------------------ #
+
+    def _bucket_addr(self, bucket: int) -> int:
+        return self.index_region.addr(bucket * _SLOT.size)
+
+    def _read_bucket(self, bucket: int) -> Tuple[int, int]:
+        raw = self.system.load(self._bucket_addr(bucket), _SLOT.size).data
+        return _SLOT.unpack(raw)
+
+    def _write_bucket(self, bucket: int, stored_key: int, packed: int) -> None:
+        self.system.store(
+            self._bucket_addr(bucket), _SLOT.size, _SLOT.pack(stored_key, packed)
+        )
+
+    @staticmethod
+    def _hash(key: int) -> int:
+        key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 % (1 << 64)
+        key = (key ^ (key >> 27)) * 0x94D049BB133111EB % (1 << 64)
+        return key ^ (key >> 31)
+
+    def _probe(self, key: int) -> Tuple[int, Optional[int]]:
+        """Find a key's bucket: (bucket with the key or first empty, packed
+        location or None)."""
+        stored = key + 1
+        bucket = self._hash(key) & (self.buckets - 1)
+        for _ in range(self.buckets):
+            found, packed = self._read_bucket(bucket)
+            if found == stored:
+                return bucket, packed
+            if found == 0:
+                return bucket, None
+            bucket = (bucket + 1) & (self.buckets - 1)
+        raise StoreFullError("hash index full")
+
+    @staticmethod
+    def _pack(class_index: int, slot: int) -> int:
+        return (class_index << 48) | (slot + 1)
+
+    @staticmethod
+    def _unpack(packed: int) -> Tuple[int, int]:
+        return packed >> 48, (packed & ((1 << 48) - 1)) - 1
+
+    def _class_for(self, size: int) -> int:
+        for index, capacity in enumerate(SIZE_CLASSES):
+            if size <= capacity:
+                return index
+        raise ValueError(f"value of {size} bytes exceeds the largest class")
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def set(self, key: int, value: bytes) -> None:
+        """Insert or replace ``key``'s value."""
+        if key < 0 or key >= (1 << 63):
+            raise ValueError(f"key {key} out of range")
+        bucket, existing = self._probe(key)
+        if existing is None and self._size >= self._capacity:
+            raise StoreFullError("store at capacity")
+        class_index = self._class_for(len(value))
+        slot = self.slabs[class_index].allocate(value)
+        self._write_bucket(bucket, key + 1, self._pack(class_index, slot))
+        if existing is not None:
+            old_class, old_slot = self._unpack(existing)
+            self.slabs[old_class].free(old_slot)
+        else:
+            self._size += 1
+
+    def get(self, key: int) -> Optional[bytes]:
+        _bucket, packed = self._probe(key)
+        if packed is None:
+            return None
+        class_index, slot = self._unpack(packed)
+        return self.slabs[class_index].read(slot)
+
+    def delete(self, key: int) -> bool:
+        """Remove a key; returns True if it existed.
+
+        Open addressing with deletions: the vacated bucket's probe chain is
+        re-inserted (robin-hood style back-shift is overkill here).
+        """
+        bucket, packed = self._probe(key)
+        if packed is None:
+            return False
+        class_index, slot = self._unpack(packed)
+        self.slabs[class_index].free(slot)
+        self._write_bucket(bucket, 0, 0)
+        self._size -= 1
+        # Rehash the cluster that follows so probing stays correct.
+        cursor = (bucket + 1) & (self.buckets - 1)
+        while True:
+            stored, moved_packed = self._read_bucket(cursor)
+            if stored == 0:
+                break
+            self._write_bucket(cursor, 0, 0)
+            self._size -= 1
+            self._reinsert(stored - 1, moved_packed)
+            cursor = (cursor + 1) & (self.buckets - 1)
+        return True
+
+    def _reinsert(self, key: int, packed: int) -> None:
+        new_bucket, existing = self._probe(key)
+        assert existing is None
+        self._write_bucket(new_bucket, key + 1, packed)
+        self._size += 1
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total mapped footprint (index + slabs)."""
+        total = self.index_region.size
+        for slab in self.slabs:
+            total += slab.region.size
+        return total

@@ -1,0 +1,8 @@
+"""Baseline memory systems the paper compares against (§5)."""
+
+from repro.baselines.dram_only import DRAMOnly
+from repro.baselines.paging import PagingMemorySystem
+from repro.baselines.traditional import TraditionalStack
+from repro.baselines.unified_mmap import UnifiedMMap
+
+__all__ = ["PagingMemorySystem", "TraditionalStack", "UnifiedMMap", "DRAMOnly"]

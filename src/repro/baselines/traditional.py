@@ -1,0 +1,24 @@
+"""TraditionalStack: the separated memory/storage stack baseline (§5).
+
+DRAM is byte-addressable, the SSD sits behind a block I/O interface, and
+``mmap`` + the paging mechanism swap 4 KB pages between them.  Each page
+fault traverses the full storage software stack (VFS, block layer) before
+reaching the device.  Following the paper's setup, the FTL is hosted in
+host DRAM for performance (like Fusion ioMemory), which keeps all three
+translation layers — page table, storage index, FTL — separate and eats
+into the DRAM available to the application.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.paging import PagingMemorySystem
+
+
+class TraditionalStack(PagingMemorySystem):
+    """Separated memory-storage hierarchy (mmap + full storage stack)."""
+
+    name = "TraditionalStack"
+    fault_software_ns_attr = "traditional_fault_software_ns"
+    host_merged_ftl = False  # device-side logical addressing, FTL lookups
+    # Host-resident FTL + page index + storage metadata claim DRAM frames.
+    metadata_overhead = 0.05

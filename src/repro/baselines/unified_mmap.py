@@ -1,0 +1,26 @@
+"""UnifiedMMap: the FlashMap-style unified-translation baseline (§5).
+
+Following Huang et al. [ISCA'15], the three indirection layers (page table,
+storage index, FTL) are combined into the host page table: PTEs can point
+at flash physical pages and the storage software stack is bypassed on
+faults.  Unlike FlatFlash, an SSD-resident page still cannot be *accessed*
+in place — the PTE stays non-present, and every access to it pays a page
+fault that migrates the whole page to DRAM (Fig. 3a).
+
+The unified layer also shrinks translation metadata, so slightly more DRAM
+is left for application pages than under TraditionalStack — the paper notes
+this is why UnifiedMMap sees somewhat fewer page movements (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.paging import PagingMemorySystem
+
+
+class UnifiedMMap(PagingMemorySystem):
+    """Unified address translation, page-granular access (FlashMap)."""
+
+    name = "UnifiedMMap"
+    fault_software_ns_attr = "unified_fault_software_ns"
+    host_merged_ftl = True  # FTL folded into the page table
+    metadata_overhead = 0.01

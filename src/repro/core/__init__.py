@@ -1,0 +1,17 @@
+"""FlatFlash core: the unified memory-storage hierarchy (the paper's contribution)."""
+
+from repro.core.hierarchy import FlatFlash
+from repro.core.memory_system import AccessResult, MappedRegion, MemorySystem
+from repro.core.persistence import PersistentRegion, create_pmem_region
+from repro.core.promotion import AdaptivePromotionPolicy, PromotionManager
+
+__all__ = [
+    "FlatFlash",
+    "MemorySystem",
+    "MappedRegion",
+    "AccessResult",
+    "PromotionManager",
+    "AdaptivePromotionPolicy",
+    "PersistentRegion",
+    "create_pmem_region",
+]

@@ -1,0 +1,92 @@
+"""Shared experiment plumbing.
+
+All experiments run at reduced scale but preserve the paper's ratios
+(SSD:DRAM, working-set:DRAM, SSD-Cache fraction).  ``scaled_config`` builds
+a configuration from those ratios; ``build_system`` instantiates any of the
+evaluated systems by name.
+
+Experiments default to ``track_data=False``: performance sweeps do not
+need real payloads, and skipping them makes the harness severalfold
+faster.  Correctness of data movement is covered by the test suite, which
+runs with payloads on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.baselines import DRAMOnly, TraditionalStack, UnifiedMMap
+from repro.config import FlatFlashConfig, GeometryConfig
+from repro.core.hierarchy import FlatFlash
+from repro.core.memory_system import MemorySystem
+
+#: The systems §5 compares, in the paper's order.
+SYSTEMS: Dict[str, Callable[[FlatFlashConfig], MemorySystem]] = {
+    "TraditionalStack": TraditionalStack,
+    "UnifiedMMap": UnifiedMMap,
+    "FlatFlash": FlatFlash,
+    "DRAM-only": DRAMOnly,
+}
+
+
+def scaled_config(
+    dram_pages: int = 64,
+    ssd_to_dram: int = 512,
+    ssd_cache_ratio: float = 0.00125,
+    track_data: bool = False,
+    **overrides: object,
+) -> FlatFlashConfig:
+    """A configuration from the paper's capacity ratios at reduced scale."""
+    if dram_pages <= 0:
+        raise ValueError(f"dram_pages must be > 0, got {dram_pages}")
+    if ssd_to_dram <= 0:
+        raise ValueError(f"ssd_to_dram must be > 0, got {ssd_to_dram}")
+    geometry = GeometryConfig(
+        dram_pages=dram_pages,
+        ssd_pages=dram_pages * ssd_to_dram,
+        ssd_cache_ratio=ssd_cache_ratio,
+        flash_pages_per_block=32,
+    )
+    config = FlatFlashConfig(geometry=geometry, track_data=track_data)
+    for name, value in overrides.items():
+        if hasattr(config.geometry, name):
+            setattr(config.geometry, name, value)
+        elif hasattr(config.latency, name):
+            setattr(config.latency, name, value)
+        elif hasattr(config, name):
+            setattr(config, name, value)
+        else:
+            raise TypeError(f"unknown config field {name!r}")
+    return config.validate()
+
+
+def build_system(name: str, config: FlatFlashConfig) -> MemorySystem:
+    """Instantiate one of the evaluated systems by its paper name."""
+    try:
+        factory = SYSTEMS[name]
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}; choose from {sorted(SYSTEMS)}") from None
+    return factory(config)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment: rows plus free-form series."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, **cells: object) -> None:
+        self.rows.append(cells)
+
+    def column(self, key: str) -> List[object]:
+        return [row[key] for row in self.rows]
+
+    def filtered(self, **match: object) -> List[Dict[str, object]]:
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                out.append(row)
+        return out

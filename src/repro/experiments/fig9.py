@@ -1,0 +1,124 @@
+"""Figure 9: HPCC-GUPS performance and SSD-Cache sensitivity (§5.2).
+
+* **9a** — GUPS throughput (normalized) and page movements for the three
+  systems as the SSD:DRAM ratio grows (paper: FlatFlash 1.5-1.6x over
+  UnifiedMMap, 2.5-2.7x over TraditionalStack; 1.3-1.5x fewer page
+  movements).
+* **9b** — FlatFlash speedup vs the baselines as the SSD-Cache grows
+  (SSD:DRAM fixed at 512): the baselines must migrate pages regardless of
+  the SSD-Cache, so only FlatFlash benefits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.experiments.common import ExperimentResult, build_system, scaled_config
+from repro.workloads.gups import run_gups
+
+EVALUATED = ("TraditionalStack", "UnifiedMMap", "FlatFlash")
+
+
+def run_fig9a(
+    ratios: Optional[List[int]] = None,
+    dram_pages: int = 64,
+    table_multiple: int = 16,
+    num_updates: int = 12_000,
+) -> ExperimentResult:
+    """GUPS with a table ``table_multiple`` x the DRAM (paper: 32 GB vs 2 GB)."""
+    if ratios is None:
+        ratios = [16, 128, 512]
+    result = ExperimentResult("Figure 9a", "GUPS throughput and page movements")
+    for ratio in ratios:
+        for name in EVALUATED:
+            config = scaled_config(dram_pages=dram_pages, ssd_to_dram=ratio)
+            system = build_system(name, config)
+            table_pages = min(dram_pages * table_multiple, config.geometry.ssd_pages // 2)
+            region = system.mmap(table_pages, name="gups-table")
+            outcome = run_gups(
+                system, region, num_updates, rng=np.random.default_rng(1234)
+            )
+            result.add(
+                ratio=ratio,
+                system=name,
+                gups=outcome.gups,
+                mean_update_ns=round(outcome.mean_update_ns, 1),
+                page_movements=outcome.page_movements,
+            )
+    return result
+
+
+def run_fig9b(
+    cache_ratios: Optional[List[float]] = None,
+    dram_pages: int = 32,
+    ssd_to_dram: int = 512,
+    num_updates: int = 10_000,
+) -> ExperimentResult:
+    """FlatFlash speedup over the baselines vs SSD-Cache size."""
+    if cache_ratios is None:
+        cache_ratios = [0.0005, 0.00125, 0.005, 0.02]
+    result = ExperimentResult("Figure 9b", "Sensitivity to SSD-Cache size")
+    table_pages = dram_pages * 16
+    baselines = {}
+    for name in ("TraditionalStack", "UnifiedMMap"):
+        config = scaled_config(dram_pages=dram_pages, ssd_to_dram=ssd_to_dram)
+        system = build_system(name, config)
+        region = system.mmap(table_pages, name="gups-table")
+        outcome = run_gups(system, region, num_updates, rng=np.random.default_rng(5))
+        baselines[name] = outcome.mean_update_ns
+    for cache_ratio in cache_ratios:
+        config = scaled_config(
+            dram_pages=dram_pages,
+            ssd_to_dram=ssd_to_dram,
+            ssd_cache_ratio=cache_ratio,
+        )
+        system = build_system("FlatFlash", config)
+        region = system.mmap(table_pages, name="gups-table")
+        outcome = run_gups(system, region, num_updates, rng=np.random.default_rng(5))
+        result.add(
+            ssd_cache_pct=cache_ratio * 100,
+            flatflash_ns=round(outcome.mean_update_ns, 1),
+            speedup_vs_unified=round(baselines["UnifiedMMap"] / outcome.mean_update_ns, 2),
+            speedup_vs_traditional=round(
+                baselines["TraditionalStack"] / outcome.mean_update_ns, 2
+            ),
+        )
+    return result
+
+
+def render_fig9a(result: ExperimentResult) -> Table:
+    table = Table(
+        "Figure 9a: GUPS (updates/sim-second) and page movements",
+        ["SSD:DRAM", "System", "Mean update (ns)", "Page movements"],
+    )
+    for row in result.rows:
+        table.add_row(
+            f"{row['ratio']}x",
+            row["system"],
+            row["mean_update_ns"],
+            row["page_movements"],
+        )
+    return table
+
+
+def render_fig9b(result: ExperimentResult) -> Table:
+    table = Table(
+        "Figure 9b: FlatFlash speedup vs SSD-Cache size (SSD:DRAM=512)",
+        ["SSD-Cache (% of SSD)", "FlatFlash ns/update", "vs UnifiedMMap", "vs TraditionalStack"],
+    )
+    for row in result.rows:
+        table.add_row(
+            f"{row['ssd_cache_pct']:.3f}%",
+            row["flatflash_ns"],
+            f"{row['speedup_vs_unified']}x",
+            f"{row['speedup_vs_traditional']}x",
+        )
+    return table
+
+
+if __name__ == "__main__":
+    render_fig9a(run_fig9a()).print()
+    render_fig9b(run_fig9b()).print()

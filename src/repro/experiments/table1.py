@@ -1,0 +1,170 @@
+"""Table 1: summary of FlatFlash improvements vs UnifiedMMap.
+
+Re-runs a reduced version of every §5 workload on FlatFlash and
+UnifiedMMap and reports the average performance improvement plus the SSD
+lifetime improvement (flash pages programmed), the two columns of the
+paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.lifetime import flash_programs
+from repro.analysis.report import Table
+from repro.apps.database import run_oltp
+from repro.apps.filesystem import FileSystemKind, make_filesystem
+from repro.apps.graph_analytics import GraphEngine
+from repro.apps.kvstore import KVStore, run_ycsb
+from repro.experiments.common import ExperimentResult, build_system, scaled_config
+from repro.workloads.filebench import workload_by_name
+from repro.workloads.graphs import power_law_graph
+from repro.workloads.gups import run_gups
+from repro.workloads.oltp import WORKLOADS as OLTP_WORKLOADS
+from repro.workloads.ycsb import RECORD_SIZE, WORKLOADS as YCSB_WORKLOADS
+
+PAPER_ROWS = [
+    ("HPC Challenge", "GUPS", 1.6, 1.3),
+    ("Graph Analytics", "PageRank", 1.3, 1.5),
+    ("Graph Analytics", "ConnectedComponent", 1.5, 1.9),
+    ("Key-Value Store", "YCSB-B", 2.1, 1.3),
+    ("Key-Value Store", "YCSB-D", 2.2, 1.3),
+    ("File Systems", "CreateFile", 7.4, 5.3),  # midpoints of the quoted ranges
+    ("File Systems", "VarMail", 4.7, 5.0),
+    ("Transactional DB", "TPCC", 1.9, 1.0),
+    ("Transactional DB", "TPCB", 2.8, 1.0),
+    ("Transactional DB", "TATP", 1.3, 1.0),
+]
+
+
+def _pair(config_kwargs: dict) -> tuple:
+    """(UnifiedMMap system, FlatFlash system) with identical configs."""
+    unified = build_system("UnifiedMMap", scaled_config(**config_kwargs))
+    flat = build_system("FlatFlash", scaled_config(**config_kwargs))
+    return unified, flat
+
+
+def _gups_pair() -> tuple:
+    elapsed = []
+    programs = []
+    for system in _pair({"dram_pages": 48, "ssd_to_dram": 128}):
+        region = system.mmap(48 * 16, name="gups")
+        outcome = run_gups(system, region, 6_000, rng=np.random.default_rng(12))
+        elapsed.append(outcome.elapsed_ns)
+        programs.append(flash_programs(system))
+    return elapsed, programs
+
+
+def _graph_pair(algorithm: str) -> tuple:
+    graph = power_law_graph(2_500, avg_degree=12, seed=77)
+    elapsed = []
+    programs = []
+    for system in _pair({"dram_pages": 24, "ssd_to_dram": 128}):
+        engine = GraphEngine(system, graph)
+        start = system.clock.now
+        if algorithm == "PageRank":
+            engine.pagerank(iterations=2)
+        else:
+            engine.connected_components(max_iterations=2)
+        elapsed.append(system.clock.now - start)
+        programs.append(flash_programs(system))
+    return elapsed, programs
+
+
+def _ycsb_pair(workload_name: str) -> tuple:
+    workload = YCSB_WORKLOADS[workload_name]
+    elapsed = []
+    programs = []
+    for system in _pair({"dram_pages": 24, "ssd_to_dram": 128}):
+        records = 8 * 24 * 4_096 // RECORD_SIZE
+        store = KVStore(system, capacity_records=records + 1_024)
+        start = system.clock.now
+        run_ycsb(store, workload, num_ops=5_000, num_records=records)
+        elapsed.append(system.clock.now - start)
+        programs.append(flash_programs(system))
+    return elapsed, programs
+
+
+def _fs_pair(workload_name: str) -> tuple:
+    elapsed = []
+    programs = []
+    for system in _pair(
+        {"dram_pages": 48, "ssd_to_dram": 64, "ssd_cache_pages": 64}
+    ):
+        filesystem = make_filesystem(FileSystemKind.EXT4, system)
+        stream = workload_by_name(workload_name, 100)
+        outcome = filesystem.run(stream)
+        elapsed.append(outcome.elapsed_ns)
+        programs.append(flash_programs(system))
+    return elapsed, programs
+
+
+def _oltp_pair(workload_name: str) -> tuple:
+    spec = OLTP_WORKLOADS[workload_name]
+    elapsed = []
+    programs = []
+    for system in _pair({"dram_pages": 48, "ssd_to_dram": 64, "ssd_cache_pages": 64}):
+        outcome = run_oltp(
+            system, spec, num_transactions=480, num_threads=8, table_pages=128
+        )
+        elapsed.append(outcome.elapsed_ns)
+        programs.append(flash_programs(system))
+    return elapsed, programs
+
+
+def run(include: Optional[List[str]] = None) -> ExperimentResult:
+    runners = {
+        "GUPS": _gups_pair,
+        "PageRank": lambda: _graph_pair("PageRank"),
+        "ConnectedComponent": lambda: _graph_pair("ConnectedComponent"),
+        "YCSB-B": lambda: _ycsb_pair("YCSB-B"),
+        "YCSB-D": lambda: _ycsb_pair("YCSB-D"),
+        "CreateFile": lambda: _fs_pair("CreateFile"),
+        "VarMail": lambda: _fs_pair("VarMail"),
+        "TPCC": lambda: _oltp_pair("TPCC"),
+        "TPCB": lambda: _oltp_pair("TPCB"),
+        "TATP": lambda: _oltp_pair("TATP"),
+    }
+    result = ExperimentResult("Table 1", "FlatFlash improvements vs UnifiedMMap")
+    for app, benchmark, paper_perf, paper_life in PAPER_ROWS:
+        if include is not None and benchmark not in include:
+            continue
+        (unified_ns, flat_ns), (unified_programs, flat_programs) = runners[benchmark]()
+        perf = unified_ns / flat_ns if flat_ns else 0.0
+        life = (
+            unified_programs / flat_programs
+            if flat_programs
+            else (1.0 if unified_programs == 0 else float(unified_programs))
+        )
+        result.add(
+            application=app,
+            benchmark=benchmark,
+            paper_perf=paper_perf,
+            measured_perf=round(perf, 2),
+            paper_lifetime=paper_life,
+            measured_lifetime=round(life, 2),
+        )
+    return result
+
+
+def render(result: ExperimentResult) -> Table:
+    table = Table(
+        "Table 1: FlatFlash average improvement over UnifiedMMap",
+        ["Application", "Benchmark", "Perf (paper)", "Perf (measured)", "Lifetime (paper)", "Lifetime (measured)"],
+    )
+    for row in result.rows:
+        table.add_row(
+            row["application"],
+            row["benchmark"],
+            f"{row['paper_perf']}x",
+            f"{row['measured_perf']}x",
+            f"{row['paper_lifetime']}x",
+            f"{row['measured_lifetime']}x",
+        )
+    return table
+
+
+if __name__ == "__main__":
+    render(run()).print()

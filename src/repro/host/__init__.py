@@ -1,0 +1,21 @@
+"""Host-side substrate: DRAM, page table, TLB, CPU cache, bridge, PLB."""
+
+from repro.host.bridge import HostBridge
+from repro.host.cpu_cache import CPUCache
+from repro.host.dram import Frame, HostDRAM
+from repro.host.page_table import Domain, PageTable, PageTableEntry
+from repro.host.plb import PLB, PLBEntry
+from repro.host.tlb import TLB
+
+__all__ = [
+    "HostDRAM",
+    "Frame",
+    "PageTable",
+    "PageTableEntry",
+    "Domain",
+    "TLB",
+    "CPUCache",
+    "PLB",
+    "PLBEntry",
+    "HostBridge",
+]

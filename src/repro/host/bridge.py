@@ -1,0 +1,103 @@
+"""Host bridge (root complex): physical-address routing and the PLB.
+
+The host bridge connects CPU, memory controller and PCIe (Fig. 2).  In the
+simulator it does three jobs:
+
+* classify host physical addresses into the DRAM region or the SSD BAR
+  window and split them into (page, offset);
+* carry the Persist (P) bit: during address translation the physical
+  address is prefixed with the PTE's P bit, and the bridge moves it into
+  the PCIe TLP's attribute field with the address bit masked out (§3.5);
+* host the :class:`~repro.host.plb.PLB` for in-flight promotions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.host.plb import PLB
+from repro.interconnect.pcie import BarWindow
+from repro.sim.stats import StatRegistry
+
+#: Bit position used to prefix physical addresses with the Persist flag.
+PERSIST_BIT_SHIFT = 62
+
+
+class HostBridge:
+    """Routes physical addresses and tracks in-flight promotions."""
+
+    def __init__(
+        self,
+        dram_bytes: int,
+        ssd_bar: BarWindow,
+        page_size: int,
+        plb_entries: int,
+        stats: Optional[StatRegistry] = None,
+    ) -> None:
+        if dram_bytes <= 0:
+            raise ValueError(f"dram_bytes must be > 0, got {dram_bytes}")
+        if page_size <= 0:
+            raise ValueError(f"page_size must be > 0, got {page_size}")
+        if ssd_bar.base < dram_bytes:
+            raise ValueError(
+                f"SSD BAR base {ssd_bar.base:#x} overlaps DRAM of {dram_bytes} bytes"
+            )
+        self.dram_bytes = dram_bytes
+        self.ssd_bar = ssd_bar
+        self.page_size = page_size
+        self.stats = stats if stats is not None else StatRegistry()
+        self.plb = PLB(plb_entries, stats=self.stats)
+        self._to_dram = self.stats.counter("bridge.requests_to_dram")
+        self._to_ssd = self.stats.counter("bridge.requests_to_ssd")
+
+    # ------------------------------------------------------------------ #
+    # Persist-bit handling (§3.5)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def tag_persist(phys_addr: int, persist: bool) -> int:
+        """Prefix a physical address with the P bit (done at translation)."""
+        if persist:
+            return phys_addr | (1 << PERSIST_BIT_SHIFT)
+        return phys_addr
+
+    @staticmethod
+    def split_persist(tagged_addr: int) -> Tuple[int, bool]:
+        """Mask the P bit out of a tagged address: (address, persist)."""
+        persist = bool(tagged_addr & (1 << PERSIST_BIT_SHIFT))
+        return tagged_addr & ~(1 << PERSIST_BIT_SHIFT), persist
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def route(self, tagged_addr: int) -> Tuple[str, int, int, bool]:
+        """Classify a (possibly P-tagged) physical address.
+
+        Returns ``(target, page, offset, persist)`` where target is
+        ``"dram"`` (page = frame index) or ``"ssd"`` (page = device page
+        number inside the BAR).
+        """
+        phys_addr, persist = self.split_persist(tagged_addr)
+        if phys_addr < self.dram_bytes:
+            self._to_dram.add()
+            return "dram", phys_addr // self.page_size, phys_addr % self.page_size, persist
+        if self.ssd_bar.contains(phys_addr):
+            self._to_ssd.add()
+            offset = self.ssd_bar.offset_of(phys_addr)
+            return "ssd", offset // self.page_size, offset % self.page_size, persist
+        raise ValueError(f"physical address {phys_addr:#x} maps to no device")
+
+    def dram_addr(self, frame_index: int, offset: int = 0) -> int:
+        """Host physical address of a DRAM frame byte."""
+        addr = frame_index * self.page_size + offset
+        if addr >= self.dram_bytes:
+            raise ValueError(f"frame {frame_index} outside DRAM")
+        return addr
+
+    def ssd_addr(self, device_page: int, offset: int = 0) -> int:
+        """Host physical address of a byte in the SSD BAR window."""
+        addr = self.ssd_bar.base + device_page * self.page_size + offset
+        if not self.ssd_bar.contains(addr):
+            raise ValueError(f"device page {device_page} outside the BAR window")
+        return addr

@@ -1,0 +1,5 @@
+"""PCIe interconnect model."""
+
+from repro.interconnect.pcie import BarWindow, PCIeLink, PCIeTransaction
+
+__all__ = ["PCIeLink", "BarWindow", "PCIeTransaction"]

@@ -1,0 +1,147 @@
+"""PCIe interconnect model: BAR windows and MMIO/DMA transaction costs.
+
+FlatFlash reaches the SSD through PCIe memory-mapped I/O (Section 3.1): one of
+the SSD's Base Address Registers exposes the flash address space to the host,
+the host bridge routes physical addresses inside that window to the device,
+and the CPU issues loads/stores (including atomics) directly against it.
+
+The model here is deliberately simple — a latency-and-traffic model, not a
+TLP-level simulation:
+
+* MMIO **reads** are non-posted (full round trip, Table 2: 4.8 us / line).
+* MMIO **writes** are posted; they complete when the data reaches the host
+  bridge's write buffer (Table 2: 0.6 us / line).  Durability therefore
+  needs the *write-verify read* barrier the persistence path issues (§3.5).
+* **DMA** moves whole pages (used by page promotion and the paging
+  baselines).
+* Traffic counters record bytes moved in each direction so experiments can
+  report I/O-traffic reductions and SSD-lifetime effects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import LatencyConfig
+from repro.sim.stats import StatRegistry
+
+
+class PCIeTransaction(enum.Enum):
+    """Transaction kinds the link accounts for."""
+
+    MMIO_READ = "mmio_read"
+    MMIO_WRITE = "mmio_write"
+    MMIO_ATOMIC = "mmio_atomic"
+    DMA_TO_HOST = "dma_to_host"
+    DMA_FROM_HOST = "dma_from_host"
+
+
+@dataclass(frozen=True)
+class BarWindow:
+    """A Base Address Register window in host physical address space."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError(f"invalid BAR window base={self.base} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the window."""
+        return self.base + self.size
+
+    def contains(self, phys_addr: int) -> bool:
+        return self.base <= phys_addr < self.end
+
+    def offset_of(self, phys_addr: int) -> int:
+        """Device-relative offset of a host physical address."""
+        if not self.contains(phys_addr):
+            raise ValueError(
+                f"address {phys_addr:#x} outside BAR [{self.base:#x}, {self.end:#x})"
+            )
+        return phys_addr - self.base
+
+
+class PCIeLink:
+    """Cost and traffic accounting for one PCIe endpoint link."""
+
+    def __init__(
+        self,
+        latency: LatencyConfig,
+        cacheline_size: int = 64,
+        stats: Optional[StatRegistry] = None,
+    ) -> None:
+        if cacheline_size <= 0:
+            raise ValueError(f"cacheline_size must be > 0, got {cacheline_size}")
+        self.latency = latency
+        self.cacheline_size = cacheline_size
+        self.stats = stats if stats is not None else StatRegistry()
+        self._reads = self.stats.counter("pcie.mmio_reads")
+        self._writes = self.stats.counter("pcie.mmio_writes")
+        self._atomics = self.stats.counter("pcie.mmio_atomics")
+        self._dma_ops = self.stats.counter("pcie.dma_ops")
+        self._bytes_to_device = self.stats.counter("pcie.bytes_to_device")
+        self._bytes_from_device = self.stats.counter("pcie.bytes_from_device")
+
+    def _cachelines(self, size: int) -> int:
+        if size <= 0:
+            raise ValueError(f"transfer size must be > 0, got {size}")
+        return -(-size // self.cacheline_size)  # ceiling division
+
+    def mmio_read_cost(self, size: int) -> int:
+        """Cost of a non-posted MMIO read of ``size`` bytes."""
+        lines = self._cachelines(size)
+        self._reads.add(lines)
+        self._bytes_from_device.add(size)
+        return lines * self.latency.mmio_read_cacheline_ns
+
+    def mmio_write_cost(self, size: int) -> int:
+        """Cost of a posted MMIO write of ``size`` bytes."""
+        lines = self._cachelines(size)
+        self._writes.add(lines)
+        self._bytes_to_device.add(size)
+        return lines * self.latency.mmio_write_cacheline_ns
+
+    def mmio_atomic_cost(self, size: int) -> int:
+        """Cost of a PCIe atomic (round trip: behaves like a read)."""
+        lines = self._cachelines(size)
+        self._atomics.add(1)
+        self._bytes_to_device.add(size)
+        self._bytes_from_device.add(size)
+        return lines * self.latency.mmio_read_cacheline_ns
+
+    def verify_read_cost(self) -> int:
+        """Cost of the write-verify read flushing posted writes (§3.5)."""
+        self._reads.add(1)
+        self._bytes_from_device.add(self.cacheline_size)
+        return self.latency.mmio_verify_read_ns
+
+    def dma_to_host_cost(self, size: int) -> int:
+        """Cost of a device-initiated DMA into host DRAM (page promotion)."""
+        pages = self._cachelines(size) * self.cacheline_size
+        self._dma_ops.add(1)
+        self._bytes_from_device.add(size)
+        # DMA cost scales with page-sized chunks of the transfer.
+        chunk = 4_096
+        chunks = -(-pages // chunk)
+        return chunks * self.latency.dma_page_transfer_ns
+
+    def dma_from_host_cost(self, size: int) -> int:
+        """Cost of a DMA from host DRAM into the device (page write-back)."""
+        self._dma_ops.add(1)
+        self._bytes_to_device.add(size)
+        chunk = 4_096
+        chunks = -(-size // chunk)
+        return chunks * self.latency.dma_page_transfer_ns
+
+    @property
+    def bytes_to_device(self) -> int:
+        return self._bytes_to_device.value
+
+    @property
+    def bytes_from_device(self) -> int:
+        return self._bytes_from_device.value

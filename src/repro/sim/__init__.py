@@ -1,0 +1,32 @@
+"""Simulation primitives: nanosecond clock, statistics, discrete-event engine."""
+
+from repro.sim.clock import SimClock
+from repro.sim.des import (
+    Acquire,
+    AcquireSlot,
+    Delay,
+    Lock,
+    Release,
+    ReleaseSlot,
+    Semaphore,
+    Simulator,
+    Timeout,
+)
+from repro.sim.stats import Counter, LatencyStats, RatioStat, StatRegistry
+
+__all__ = [
+    "SimClock",
+    "Simulator",
+    "Lock",
+    "Semaphore",
+    "Delay",
+    "Acquire",
+    "Release",
+    "AcquireSlot",
+    "ReleaseSlot",
+    "Timeout",
+    "LatencyStats",
+    "Counter",
+    "RatioStat",
+    "StatRegistry",
+]

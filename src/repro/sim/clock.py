@@ -1,0 +1,66 @@
+"""A simulated nanosecond clock.
+
+Every component of the FlatFlash simulator charges time to a :class:`SimClock`
+instead of sleeping or measuring wall time.  A single-threaded workload owns
+one clock and advances it on every memory access; the discrete-event simulator
+(:mod:`repro.sim.des`) drives many logical threads against one clock.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+class SimClock:
+    """Monotonically non-decreasing simulated time in nanoseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError(f"clock cannot start at negative time: {start_ns}")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now / NS_PER_US
+
+    @property
+    def now_sec(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now / NS_PER_SEC
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward by ``delta_ns`` and return the new time.
+
+        Negative deltas are rejected: simulated time never runs backwards.
+        """
+        delta = int(delta_ns)
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta: {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp_ns: int) -> int:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        timestamp = int(timestamp_ns)
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def reset(self, start_ns: int = 0) -> None:
+        """Reset the clock, typically between experiment repetitions."""
+        if start_ns < 0:
+            raise ValueError(f"clock cannot reset to negative time: {start_ns}")
+        self._now = int(start_ns)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now}ns)"

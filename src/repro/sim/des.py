@@ -1,0 +1,265 @@
+"""A minimal discrete-event simulator for multi-threaded sections.
+
+The database-logging experiment (Fig. 14) needs genuine thread contention:
+with a centralized log buffer every transaction serializes on one lock, while
+FlatFlash's per-transaction logging lets log writes proceed concurrently.
+This module provides just enough machinery for that — generator-based
+processes that yield simulation commands:
+
+* ``Delay(ns)`` — advance this process's local time by a service cost.
+* ``Acquire(lock)`` / ``Release(lock)`` — FIFO mutual exclusion.
+
+Example::
+
+    sim = Simulator()
+    lock = Lock("log")
+
+    def worker(think_ns, hold_ns):
+        for _ in range(10):
+            yield Delay(think_ns)
+            yield Acquire(lock)
+            yield Delay(hold_ns)
+            yield Release(lock)
+
+    for _ in range(4):
+        sim.spawn(worker(1000, 200))
+    end_time = sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional, Tuple, Union
+
+
+class Delay:
+    """Yield command: advance the process's time by ``ns`` nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int) -> None:
+        if ns < 0:
+            raise ValueError(f"delay must be non-negative, got {ns}")
+        self.ns = int(ns)
+
+
+class Lock:
+    """A FIFO lock; processes that fail to acquire are queued in order."""
+
+    __slots__ = ("name", "holder", "waiters", "acquisitions", "contended_acquisitions")
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self.holder: Optional[int] = None
+        self.waiters: Deque[int] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to wait."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions
+
+    def __repr__(self) -> str:
+        return f"Lock({self.name}, holder={self.holder}, waiting={len(self.waiters)})"
+
+
+class Acquire:
+    """Yield command: block until ``lock`` is held by this process."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Lock) -> None:
+        self.lock = lock
+
+
+class Release:
+    """Yield command: release ``lock`` (must be the current holder)."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: Lock) -> None:
+        self.lock = lock
+
+
+class Semaphore:
+    """A counting resource (e.g. a pool of flash channels): up to
+    ``capacity`` holders at once, FIFO queueing beyond that."""
+
+    __slots__ = ("name", "capacity", "holders", "waiters", "acquisitions", "contended_acquisitions")
+
+    def __init__(self, capacity: int, name: str = "semaphore") -> None:
+        if capacity <= 0:
+            raise ValueError(f"semaphore capacity must be > 0, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.holders: set = set()
+        self.waiters: Deque[int] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def contention_ratio(self) -> float:
+        if self.acquisitions == 0:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions
+
+    def __repr__(self) -> str:
+        return (
+            f"Semaphore({self.name}, {len(self.holders)}/{self.capacity} held, "
+            f"waiting={len(self.waiters)})"
+        )
+
+
+class AcquireSlot:
+    """Yield command: take one slot of ``semaphore`` (may block)."""
+
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: Semaphore) -> None:
+        self.semaphore = semaphore
+
+
+class ReleaseSlot:
+    """Yield command: return a slot of ``semaphore`` (must hold one)."""
+
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: Semaphore) -> None:
+        self.semaphore = semaphore
+
+
+Command = Union[Delay, Acquire, Release, AcquireSlot, ReleaseSlot]
+Process = Generator[Command, None, None]
+
+
+class Timeout(Exception):
+    """Raised by :meth:`Simulator.run` when ``until_ns`` passes with work left."""
+
+
+class _ProcState:
+    __slots__ = ("pid", "generator", "finished_at")
+
+    def __init__(self, pid: int, generator: Process) -> None:
+        self.pid = pid
+        self.generator = generator
+        self.finished_at: Optional[int] = None
+
+
+class Simulator:
+    """Event-heap scheduler for generator processes.
+
+    Determinism: events at equal timestamps run in (time, sequence) order,
+    and lock hand-off is FIFO, so a given set of processes always produces
+    the same schedule.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int]] = []  # (time, seq, pid)
+        self._seq = 0
+        self._procs: Dict[int, _ProcState] = {}
+        self._blocked: Dict[int, Union[Lock, Semaphore]] = {}
+        self.now = 0
+
+    def spawn(self, process: Process, start_ns: int = 0) -> int:
+        """Register a process; it first runs at ``start_ns``. Returns its pid."""
+        pid = len(self._procs)
+        self._procs[pid] = _ProcState(pid, process)
+        self._schedule(start_ns, pid)
+        return pid
+
+    def _schedule(self, time_ns: int, pid: int) -> None:
+        heapq.heappush(self._heap, (time_ns, self._seq, pid))
+        self._seq += 1
+
+    def _step_process(self, pid: int) -> None:
+        """Advance one process until it blocks, delays, or finishes."""
+        state = self._procs[pid]
+        while True:
+            try:
+                command = next(state.generator)
+            except StopIteration:
+                state.finished_at = self.now
+                return
+            if isinstance(command, Delay):
+                self._schedule(self.now + command.ns, pid)
+                return
+            if isinstance(command, Acquire):
+                lock = command.lock
+                lock.acquisitions += 1
+                if lock.holder is None:
+                    lock.holder = pid
+                    continue  # acquired immediately; keep running
+                lock.contended_acquisitions += 1
+                lock.waiters.append(pid)
+                self._blocked[pid] = lock
+                return
+            if isinstance(command, Release):
+                lock = command.lock
+                if lock.holder != pid:
+                    raise RuntimeError(
+                        f"process {pid} released {lock.name!r} held by {lock.holder}"
+                    )
+                if lock.waiters:
+                    next_pid = lock.waiters.popleft()
+                    lock.holder = next_pid
+                    del self._blocked[next_pid]
+                    self._schedule(self.now, next_pid)
+                else:
+                    lock.holder = None
+                continue  # keep running after a release
+            if isinstance(command, AcquireSlot):
+                semaphore = command.semaphore
+                semaphore.acquisitions += 1
+                if len(semaphore.holders) < semaphore.capacity:
+                    semaphore.holders.add(pid)
+                    continue
+                semaphore.contended_acquisitions += 1
+                semaphore.waiters.append(pid)
+                self._blocked[pid] = semaphore
+                return
+            if isinstance(command, ReleaseSlot):
+                semaphore = command.semaphore
+                if pid not in semaphore.holders:
+                    raise RuntimeError(
+                        f"process {pid} released {semaphore.name!r} without a slot"
+                    )
+                semaphore.holders.discard(pid)
+                if semaphore.waiters:
+                    next_pid = semaphore.waiters.popleft()
+                    semaphore.holders.add(next_pid)
+                    del self._blocked[next_pid]
+                    self._schedule(self.now, next_pid)
+                continue
+            raise TypeError(f"process {pid} yielded unknown command: {command!r}")
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run until all processes finish. Returns the final simulated time.
+
+        Raises :class:`Timeout` if ``until_ns`` is reached first, and
+        :class:`RuntimeError` on deadlock (blocked processes, empty heap).
+        """
+        while self._heap:
+            time_ns, _seq, pid = heapq.heappop(self._heap)
+            if until_ns is not None and time_ns > until_ns:
+                raise Timeout(f"simulation exceeded {until_ns}ns at t={time_ns}ns")
+            if time_ns < self.now:
+                raise RuntimeError("event scheduled in the past")
+            self.now = time_ns
+            self._step_process(pid)
+        if self._blocked:
+            blocked = sorted(self._blocked)
+            raise RuntimeError(f"deadlock: processes {blocked} blocked forever")
+        return self.now
+
+    def finish_time(self, pid: int) -> int:
+        """Completion time of a finished process."""
+        state = self._procs.get(pid)
+        if state is None:
+            raise KeyError(f"unknown pid {pid}")
+        if state.finished_at is None:
+            raise ValueError(f"process {pid} has not finished")
+        return state.finished_at

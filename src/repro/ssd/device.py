@@ -1,0 +1,422 @@
+"""The byte-addressable SSD: dual byte/block interface over flash.
+
+This is the device FlatFlash's host stack talks to.  It combines:
+
+* a :class:`~repro.ssd.flash.FlashArray` (NAND timing/wear),
+* a :class:`~repro.ssd.ftl.PageFTL` (out-of-place mapping),
+* an :class:`~repro.ssd.ssd_cache.SSDCache` (controller DRAM bridging the
+  byte interface to page-granular flash, §3.1),
+* a :class:`~repro.ssd.gc.GarbageCollector` (read-modify-write GC that
+  periodically destages dirty cache pages, §4),
+* a :class:`~repro.interconnect.pcie.PCIeLink` (MMIO/DMA costs, BAR).
+
+Two FTL placements are supported:
+
+* ``host_merged_ftl=True`` (FlatFlash / UnifiedMMap): host PTEs hold flash
+  physical page numbers; GC relocation is absorbed by a *remap table* that
+  the host drains lazily in batches (§4).
+* ``host_merged_ftl=False`` (TraditionalStack): the host addresses logical
+  pages and every access pays a device-side FTL lookup.
+
+The device never advances a clock itself — every operation returns its cost
+in nanoseconds, and callers (the memory systems) charge it appropriately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.config import FlatFlashConfig
+from repro.interconnect.pcie import BarWindow, PCIeLink
+from repro.sim.stats import StatRegistry
+from repro.ssd.flash import FlashArray
+from repro.ssd.ftl import PageFTL
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.ssd_cache import CacheEntry, SSDCache
+
+#: Host physical base address of the SSD BAR window (1 TiB mark, far above DRAM).
+DEFAULT_BAR_BASE = 1 << 40
+
+
+class PromotionSink(Protocol):
+    """What the device needs from a promotion manager (Algorithm 1 hooks)."""
+
+    def update(self, entry: CacheEntry) -> None:
+        """Called on every memory access served by the SSD."""
+
+    def adjust_cnt(self, entry: CacheEntry) -> None:
+        """Called when a page is evicted from the SSD-Cache."""
+
+
+class MMIOResult:
+    """Outcome of one MMIO access."""
+
+    __slots__ = ("latency_ns", "data", "cache_hit")
+
+    def __init__(self, latency_ns: int, data: Optional[bytes], cache_hit: bool) -> None:
+        self.latency_ns = latency_ns
+        self.data = data
+        self.cache_hit = cache_hit
+
+    def __repr__(self) -> str:
+        return (
+            f"MMIOResult(latency={self.latency_ns}ns, hit={self.cache_hit}, "
+            f"data={'yes' if self.data is not None else 'no'})"
+        )
+
+
+class ByteAddressableSSD:
+    """A PCIe SSD exposing both byte (MMIO) and block (DMA) interfaces."""
+
+    def __init__(
+        self,
+        config: FlatFlashConfig,
+        host_merged_ftl: bool = True,
+        bar_base: int = DEFAULT_BAR_BASE,
+        cache_policy: str = "rrip",
+        stats: Optional[StatRegistry] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.host_merged_ftl = host_merged_ftl
+        self.stats = stats if stats is not None else StatRegistry()
+        geometry = config.geometry
+        latency = config.latency
+
+        # Flash sized so the exported capacity fits under over-provisioning
+        # with the FTL's two spare blocks.
+        ppb = geometry.flash_pages_per_block
+        exported_blocks = -(-geometry.ssd_pages // ppb)
+        spare = max(2, int(exported_blocks * geometry.flash_overprovision) + 1)
+        num_blocks = exported_blocks + spare
+        self.flash = FlashArray(
+            num_blocks=num_blocks,
+            pages_per_block=ppb,
+            page_size=geometry.page_size,
+            latency=latency,
+            track_data=config.track_data,
+            num_channels=geometry.flash_channels,
+            stats=self.stats,
+        )
+        self.ftl = PageFTL(self.flash, overprovision=0.0, stats=self.stats)
+        # Trim the export to exactly the configured capacity.
+        self.ftl.exported_pages = min(self.ftl.exported_pages, geometry.ssd_pages)
+        self.cache = SSDCache(
+            num_pages=geometry.resolved_ssd_cache_pages(),
+            ways=geometry.ssd_cache_ways,
+            page_size=geometry.page_size,
+            track_data=config.track_data,
+            policy=cache_policy,
+            stats=self.stats,
+        )
+        self.gc = GarbageCollector(self.flash, self.ftl, self.cache, stats=self.stats)
+        self.pcie = PCIeLink(latency, geometry.cacheline_size, stats=self.stats)
+
+        # BAR spans the raw flash in host-merged mode (PTEs hold ppns) or
+        # the logical export when the FTL stays in the device.
+        span_pages = self.flash.total_pages if host_merged_ftl else self.ftl.exported_pages
+        self.bar = BarWindow(bar_base, span_pages * geometry.page_size)
+
+        # GC remap table: old ppn -> new ppn, drained lazily by the host.
+        self._remap: Dict[int, int] = {}
+        if host_merged_ftl:
+            self.ftl.add_relocate_hook(self._on_relocate)
+
+        self.promotion_manager: Optional[PromotionSink] = None
+        self.cache.add_evict_hook(self._on_cache_evict)
+        self._pending_writeback_ns = 0
+
+        self._mmio_reads = self.stats.counter("ssd.mmio_reads")
+        self._mmio_writes = self.stats.counter("ssd.mmio_writes")
+        self._fills = self.stats.counter("ssd.cache_fills")
+        self._durable_writes = self.stats.counter("ssd.durable_writes")
+        # Posted persist-writes not yet fenced by a write-verify read: these
+        # are the writes a power failure can lose (undo data kept so crash()
+        # can revert them).  Cleared by verify_read().
+        self._posted_log: List[Tuple[int, int, Optional[bytes]]] = []
+
+    # ------------------------------------------------------------------ #
+    # Address handling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def exported_pages(self) -> int:
+        return self.ftl.exported_pages
+
+    def _on_relocate(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
+        # Collapse chains so lookups stay O(1): anything that pointed at
+        # old_ppn now points at new_ppn directly.
+        for source, target in list(self._remap.items()):
+            if target == old_ppn:
+                self._remap[source] = new_ppn
+        self._remap[old_ppn] = new_ppn
+
+    def _on_cache_evict(self, entry: CacheEntry) -> None:
+        if self.promotion_manager is not None:
+            self.promotion_manager.adjust_cnt(entry)
+        if entry.dirty:
+            # Dirty victim: destage through the FTL.  Charged to background
+            # time (the paper's GC handles write-back off the access path).
+            self._pending_writeback_ns += self.gc.flush_entry(entry)
+
+    def resolve_lpn(self, host_page: int) -> int:
+        """Translate a host-visible device page number to its lpn."""
+        if self.host_merged_ftl:
+            ppn = self._remap.get(host_page, host_page)
+            lpn = self.ftl.lpn_of(ppn)
+            if lpn is None:
+                raise KeyError(f"host page {host_page} maps to no live flash page")
+            return lpn
+        if not 0 <= host_page < self.ftl.exported_pages:
+            raise ValueError(f"logical page {host_page} out of range")
+        return host_page
+
+    def host_page_of(self, lpn: int) -> int:
+        """Current host-visible page number for an lpn."""
+        if self.host_merged_ftl:
+            return self.ftl.lookup(lpn)
+        return lpn
+
+    def map_page(self, lpn: int) -> Tuple[int, int]:
+        """Back ``lpn`` with flash; returns (host-visible page number, cost)."""
+        ppn, cost = self.ftl.map_page(lpn)
+        return (ppn if self.host_merged_ftl else lpn), cost
+
+    def drain_remaps(self) -> Tuple[Dict[int, int], int]:
+        """Hand the host the pending GC remaps (lazy batch update, §4).
+
+        Returns (old_ppn -> new_ppn, cost of the single batched interrupt).
+        """
+        if not self._remap:
+            return {}, 0
+        updates = dict(self._remap)
+        self._remap.clear()
+        return updates, self.config.latency.pte_tlb_update_ns
+
+    def take_background_ns(self) -> int:
+        """Collect write-back time accrued since the last call."""
+        spent = self._pending_writeback_ns
+        self._pending_writeback_ns = 0
+        return spent
+
+    # ------------------------------------------------------------------ #
+    # Byte interface (PCIe MMIO)
+    # ------------------------------------------------------------------ #
+
+    def _ensure_cached(self, lpn: int) -> Tuple[CacheEntry, int, bool]:
+        """Find or fill the cache entry for ``lpn``: (entry, cost, was_hit)."""
+        entry = self.cache.lookup(lpn)
+        if entry is not None:
+            return entry, 0, True
+        _ppn, data, cost = self.ftl.read(lpn)
+        self.cache.insert(lpn, data, dirty=False)
+        entry = self.cache.peek(lpn)
+        assert entry is not None
+        self._fills.add()
+        return entry, cost, False
+
+    def _check_span(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.config.geometry.page_size:
+            raise ValueError(
+                f"MMIO span [{offset}, {offset + size}) outside one "
+                f"{self.config.geometry.page_size}-byte page"
+            )
+
+    def mmio_read(
+        self, host_page: int, offset: int, size: int, persist: bool = False
+    ) -> MMIOResult:
+        """Serve a memory read of ``size`` bytes via PCIe MMIO (§3.2)."""
+        self._check_span(offset, size)
+        lpn = self.resolve_lpn(host_page)
+        self._mmio_reads.add()
+        entry, fill_cost, hit = self._ensure_cached(lpn)
+        cost = fill_cost + self.pcie.mmio_read_cost(size)
+        data = None
+        if entry.data is not None:
+            data = bytes(entry.data[offset : offset + size])
+        if not persist and self.promotion_manager is not None:
+            self.promotion_manager.update(entry)
+        return MMIOResult(cost, data, hit)
+
+    def mmio_write(
+        self,
+        host_page: int,
+        offset: int,
+        size: int,
+        data: Optional[bytes] = None,
+        persist: bool = False,
+    ) -> MMIOResult:
+        """Serve a memory write via posted PCIe MMIO (§3.2).
+
+        With ``persist`` set (the PTE's P bit travelled in the TLP attribute
+        field, §3.5) the page is excluded from promotion accounting, and the
+        write is durable once in the battery-backed SSD-Cache.
+        """
+        self._check_span(offset, size)
+        if data is not None and len(data) != size:
+            raise ValueError(f"data length {len(data)} != size {size}")
+        lpn = self.resolve_lpn(host_page)
+        self._mmio_writes.add()
+        entry, fill_cost, hit = self._ensure_cached(lpn)
+        if persist:
+            old = None
+            if entry.data is not None:
+                old = bytes(entry.data[offset : offset + size])
+            self._posted_log.append((lpn, offset, old))
+        entry.dirty = True
+        if entry.data is not None and data is not None:
+            entry.data[offset : offset + size] = data
+        cost = fill_cost + self.pcie.mmio_write_cost(size)
+        if persist:
+            self._durable_writes.add()
+        elif self.promotion_manager is not None:
+            self.promotion_manager.update(entry)
+        return MMIOResult(cost, None, hit)
+
+    def peek_bytes(self, host_page: int, offset: int, size: int) -> Optional[bytes]:
+        """Zero-cost data peek for coherently cached lines (cacheable MMIO).
+
+        Returns None when the page is not resident in the SSD-Cache or when
+        payloads are not tracked.
+        """
+        lpn = self.resolve_lpn(host_page)
+        entry = self.cache.peek(lpn)
+        if entry is None or entry.data is None:
+            return None
+        return bytes(entry.data[offset : offset + size])
+
+    def poke_bytes(self, host_page: int, offset: int, data: bytes) -> bool:
+        """Zero-cost data write for coherently cached lines (cacheable MMIO).
+
+        Returns False when the page is not resident in the SSD-Cache — the
+        caller must fall back to a full MMIO write.
+        """
+        lpn = self.resolve_lpn(host_page)
+        entry = self.cache.peek(lpn)
+        if entry is None:
+            return False
+        entry.dirty = True
+        if entry.data is not None:
+            entry.data[offset : offset + len(data)] = data
+        return True
+
+    def mmio_atomic(self, host_page: int, offset: int, size: int) -> MMIOResult:
+        """A PCIe atomic (read-modify-write round trip) against the page."""
+        lpn = self.resolve_lpn(host_page)
+        entry, fill_cost, hit = self._ensure_cached(lpn)
+        entry.dirty = True
+        cost = fill_cost + self.pcie.mmio_atomic_cost(size)
+        self._durable_writes.add()
+        return MMIOResult(cost, None, hit)
+
+    def verify_read(self) -> int:
+        """Write-verify read that flushes posted writes to the device (§3.5).
+
+        Everything posted before this fence is now inside the battery-backed
+        domain and will survive a crash.
+        """
+        self._posted_log.clear()
+        return self.pcie.verify_read_cost()
+
+    # ------------------------------------------------------------------ #
+    # Block / page interface (DMA)
+    # ------------------------------------------------------------------ #
+
+    def read_page_for_promotion(self, host_page: int) -> Tuple[Optional[bytes], bool, int]:
+        """Read a whole page for promotion to host DRAM.
+
+        Returns (data, newest_copy_was_dirty, cost).  The SSD-Cache copy is
+        the freshest version and is invalidated — after promotion the page
+        lives in host DRAM.  When that copy was dirty the caller must mark
+        the DRAM frame dirty, otherwise eviction could lose the updates.
+        """
+        lpn = self.resolve_lpn(host_page)
+        entry = self.cache.invalidate(lpn)
+        if entry is not None:
+            if self.promotion_manager is not None:
+                # The page leaves the SSD-Cache: retire its counter (Alg. 1).
+                self.promotion_manager.adjust_cnt(entry)
+            data = bytes(entry.data) if entry.data is not None else None
+            cost = self.pcie.dma_to_host_cost(self.config.geometry.page_size)
+            return data, entry.dirty, cost
+        _ppn, data, flash_cost = self.ftl.read(lpn)
+        cost = flash_cost + self.pcie.dma_to_host_cost(self.config.geometry.page_size)
+        return data, False, cost
+
+    def write_page(self, lpn: int, data: Optional[bytes]) -> Tuple[int, int]:
+        """Page write-back (DRAM eviction / block write).
+
+        Returns (new host-visible page number, cost).  Any cached copy is
+        dropped — it is stale relative to the incoming data.
+        """
+        self.cache.invalidate(lpn)
+        dma = self.pcie.dma_from_host_cost(self.config.geometry.page_size)
+        _new_ppn, cost = self.ftl.write(lpn, data)
+        return self.host_page_of(lpn), dma + cost
+
+    def read_page_block(self, lpn: int) -> Tuple[Optional[bytes], int]:
+        """Block-interface page read (paging baselines).
+
+        Device-FTL mode charges the FTL lookup; the freshest copy may be in
+        the SSD-Cache (write-back cache semantics).
+        """
+        cost = 0
+        if not self.host_merged_ftl:
+            cost += self.config.latency.ftl_lookup_ns
+        entry = self.cache.peek(lpn)
+        if entry is not None:
+            data = bytes(entry.data) if entry.data is not None else None
+            cost += self.config.latency.ssd_cache_page_copy_ns
+            cost += self.pcie.dma_to_host_cost(self.config.geometry.page_size)
+            return data, cost
+        _ppn, data, flash_cost = self.ftl.read(lpn)
+        cost += flash_cost + self.pcie.dma_to_host_cost(self.config.geometry.page_size)
+        return data, cost
+
+    def write_page_block(self, lpn: int, data: Optional[bytes]) -> int:
+        """Block-interface page write (paging baselines)."""
+        cost = 0
+        if not self.host_merged_ftl:
+            cost += self.config.latency.ftl_lookup_ns
+        self.cache.invalidate(lpn)
+        dma = self.pcie.dma_from_host_cost(self.config.geometry.page_size)
+        _new_ppn, write_cost = self.ftl.write(lpn, data)
+        return cost + dma + write_cost
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page: drop any cached copy and TRIM the FTL."""
+        self.cache.invalidate(lpn)
+        self.ftl.trim(lpn)
+
+    # ------------------------------------------------------------------ #
+    # Crash / recovery (persistence experiments)
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Power failure.  Battery-backed controllers destage dirty cache
+        pages to flash; without the battery the cache contents are lost."""
+        # Posted writes still in the host bridge's write buffer never made
+        # it into the battery domain: revert them (newest first).
+        for lpn, offset, old in reversed(self._posted_log):
+            if old is None:
+                continue
+            entry = self.cache.peek(lpn)
+            if entry is not None and entry.data is not None:
+                entry.data[offset : offset + len(old)] = old
+            elif self.config.track_data and self.ftl.is_mapped(lpn):
+                # The page was destaged carrying the unfenced write: patch
+                # the flash copy back (no timing — this is the crash path).
+                _ppn, data, _cost = self.ftl.read(lpn)
+                page = bytearray(data if data is not None else b"")
+                if page:
+                    page[offset : offset + len(old)] = old
+                    self.ftl.write(lpn, bytes(page))
+        self._posted_log.clear()
+        if self.config.battery_backed:
+            self.gc.flush_dirty()
+        self.cache.clear()
+
+    def recover_read(self, lpn: int) -> Optional[bytes]:
+        """Post-recovery read straight from flash (no cache, no timing)."""
+        _ppn, data, _cost = self.ftl.read(lpn)
+        return data

@@ -1,0 +1,187 @@
+"""NAND flash array model.
+
+NAND flash is organized as blocks of pages.  Pages are read and programmed
+individually, but can only be programmed after their whole block has been
+erased — the asymmetry that forces out-of-place writes, an FTL, and garbage
+collection.  The model enforces those rules and tracks wear (program/erase
+counts), which the lifetime analysis (Table 1) consumes.
+
+Addresses here are *physical page numbers* (ppn), laid out block-major:
+``ppn = block_index * pages_per_block + page_offset``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.config import LatencyConfig
+from repro.sim.stats import StatRegistry
+
+
+class FlashPageState(enum.Enum):
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+    INVALID = "invalid"
+
+
+class FlashBlock:
+    """One erase block: page states plus an erase counter."""
+
+    __slots__ = ("index", "pages_per_block", "states", "erase_count")
+
+    def __init__(self, index: int, pages_per_block: int) -> None:
+        self.index = index
+        self.pages_per_block = pages_per_block
+        self.states: List[FlashPageState] = [FlashPageState.ERASED] * pages_per_block
+        self.erase_count = 0
+
+    @property
+    def erased_pages(self) -> int:
+        return sum(1 for s in self.states if s is FlashPageState.ERASED)
+
+    @property
+    def invalid_pages(self) -> int:
+        return sum(1 for s in self.states if s is FlashPageState.INVALID)
+
+    @property
+    def valid_pages(self) -> int:
+        return sum(1 for s in self.states if s is FlashPageState.PROGRAMMED)
+
+
+class FlashArray:
+    """A NAND array with program/read/erase semantics and wear tracking."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        pages_per_block: int,
+        page_size: int,
+        latency: LatencyConfig,
+        track_data: bool = True,
+        num_channels: int = 8,
+        stats: Optional[StatRegistry] = None,
+    ) -> None:
+        if num_blocks <= 0 or pages_per_block <= 0 or page_size <= 0:
+            raise ValueError(
+                f"invalid flash geometry: blocks={num_blocks} "
+                f"pages/block={pages_per_block} page_size={page_size}"
+            )
+        if num_channels <= 0:
+            raise ValueError(f"num_channels must be > 0, got {num_channels}")
+        self.num_channels = num_channels
+        self.num_blocks = num_blocks
+        self.pages_per_block = pages_per_block
+        self.page_size = page_size
+        self.latency = latency
+        self.track_data = track_data
+        self.blocks = [FlashBlock(i, pages_per_block) for i in range(num_blocks)]
+        self._data: Dict[int, bytes] = {}
+        self.stats = stats if stats is not None else StatRegistry()
+        self._reads = self.stats.counter("flash.page_reads")
+        self._programs = self.stats.counter("flash.page_programs")
+        self._erases = self.stats.counter("flash.block_erases")
+
+    @property
+    def total_pages(self) -> int:
+        return self.num_blocks * self.pages_per_block
+
+    def _check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.total_pages:
+            raise ValueError(f"ppn {ppn} out of range [0, {self.total_pages})")
+
+    def block_of(self, ppn: int) -> FlashBlock:
+        self._check_ppn(ppn)
+        return self.blocks[ppn // self.pages_per_block]
+
+    def channel_of(self, ppn: int) -> int:
+        """The channel a page's operations occupy (blocks stripe across
+        channels, the common SSD layout)."""
+        self._check_ppn(ppn)
+        return (ppn // self.pages_per_block) % self.num_channels
+
+    def state_of(self, ppn: int) -> FlashPageState:
+        block = self.block_of(ppn)
+        return block.states[ppn % self.pages_per_block]
+
+    def read(self, ppn: int) -> "FlashOp":
+        """Read one page.  Reading erased/invalid pages is allowed (the FTL
+        never does it, but raw tools may) and returns zeros."""
+        self._check_ppn(ppn)
+        self._reads.add()
+        data = None
+        if self.track_data:
+            data = self._data.get(ppn, b"\x00" * self.page_size)
+        return FlashOp(self.latency.flash_read_page_ns, data)
+
+    def program(self, ppn: int, data: Optional[bytes] = None) -> "FlashOp":
+        """Program one erased page.  Programming a non-erased page is a bug
+        in the FTL and raises."""
+        block = self.block_of(ppn)
+        offset = ppn % self.pages_per_block
+        state = block.states[offset]
+        if state is not FlashPageState.ERASED:
+            raise RuntimeError(f"program to non-erased page ppn={ppn} ({state.value})")
+        if data is not None and len(data) != self.page_size:
+            raise ValueError(
+                f"program data must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        block.states[offset] = FlashPageState.PROGRAMMED
+        self._programs.add()
+        if self.track_data:
+            self._data[ppn] = bytes(data) if data is not None else b"\x00" * self.page_size
+        return FlashOp(self.latency.flash_program_page_ns, None)
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a programmed page invalid (out-of-place overwrite)."""
+        block = self.block_of(ppn)
+        offset = ppn % self.pages_per_block
+        if block.states[offset] is not FlashPageState.PROGRAMMED:
+            raise RuntimeError(f"invalidate of non-programmed page ppn={ppn}")
+        block.states[offset] = FlashPageState.INVALID
+        if self.track_data:
+            self._data.pop(ppn, None)
+
+    def erase(self, block_index: int) -> "FlashOp":
+        """Erase a whole block.  Erasing a block with valid pages raises —
+        the GC must relocate them first."""
+        if not 0 <= block_index < self.num_blocks:
+            raise ValueError(f"block {block_index} out of range [0, {self.num_blocks})")
+        block = self.blocks[block_index]
+        if block.valid_pages:
+            raise RuntimeError(
+                f"erase of block {block_index} with {block.valid_pages} valid pages"
+            )
+        first = block_index * self.pages_per_block
+        for offset in range(self.pages_per_block):
+            block.states[offset] = FlashPageState.ERASED
+            if self.track_data:
+                self._data.pop(first + offset, None)
+        block.erase_count += 1
+        self._erases.add()
+        return FlashOp(self.latency.flash_erase_block_ns, None)
+
+    @property
+    def total_programs(self) -> int:
+        return self._programs.value
+
+    @property
+    def total_erases(self) -> int:
+        return self._erases.value
+
+    @property
+    def max_erase_count(self) -> int:
+        return max(block.erase_count for block in self.blocks)
+
+
+class FlashOp:
+    """Result of a flash operation: its cost and (for reads) the data."""
+
+    __slots__ = ("latency_ns", "data")
+
+    def __init__(self, latency_ns: int, data: Optional[bytes]) -> None:
+        self.latency_ns = latency_ns
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"FlashOp(latency={self.latency_ns}ns, data={'yes' if self.data else 'no'})"

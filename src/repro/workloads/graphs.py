@@ -1,0 +1,131 @@
+"""Synthetic power-law graphs for the graph-analytics experiments (§5.3).
+
+The paper runs PageRank and Connected-Component Labeling over the Twitter
+and Friendster social graphs.  Those datasets are not redistributable, so
+we generate Chung-Lu style graphs with the same power-law degree skew the
+paper's analysis depends on (§5.3 explicitly motivates graph locality with
+the power-law distribution [21]).  Fig. 10's behaviour is driven by the
+skew (hot high-degree vertices vs a long cold tail) and by the graph:DRAM
+size ratio — both preserved here at reduced scale.
+
+Graphs are stored in CSR form (indptr/indices), the layout GraphChi-style
+engines stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """Compressed sparse row adjacency."""
+
+    num_vertices: int
+    indptr: np.ndarray  # int64, len = num_vertices + 1
+    indices: np.ndarray  # int64, len = num_edges
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def degree(self, vertex: int) -> int:
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def validate(self) -> None:
+        if self.indptr.shape[0] != self.num_vertices + 1:
+            raise ValueError("indptr length must be num_vertices + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.num_edges:
+            raise ValueError("indptr must start at 0 and end at num_edges")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.num_edges and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_vertices
+        ):
+            raise ValueError("edge endpoints out of range")
+
+
+def power_law_degrees(
+    num_vertices: int,
+    avg_degree: float,
+    exponent: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Degree sequence following a truncated power law, rescaled to the
+    requested average degree."""
+    if num_vertices <= 0:
+        raise ValueError(f"num_vertices must be > 0, got {num_vertices}")
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be > 0, got {avg_degree}")
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must be > 1, got {exponent}")
+    # Inverse-CDF sampling of P(d) ~ d^-exponent on [1, num_vertices).
+    uniform = rng.random(num_vertices)
+    raw = np.power(1.0 - uniform, -1.0 / (exponent - 1.0))
+    raw = np.minimum(raw, float(num_vertices - 1) if num_vertices > 1 else 1.0)
+    scaled = raw * (avg_degree / raw.mean())
+    degrees = np.maximum(1, np.rint(scaled)).astype(np.int64)
+    return degrees
+
+
+def power_law_graph(
+    num_vertices: int,
+    avg_degree: float = 16.0,
+    exponent: float = 2.1,
+    seed: int = 3,
+) -> CSRGraph:
+    """A Chung-Lu style directed graph with power-law out- and in-degrees.
+
+    Out-degrees follow the sampled power-law sequence; edge *targets* are
+    drawn proportionally to a second power-law weight vector, giving the
+    heavy-tailed in-degree skew (celebrity vertices) that creates the data
+    locality the paper's promotion policy exploits.
+    """
+    rng = np.random.default_rng(seed)
+    out_degrees = power_law_degrees(num_vertices, avg_degree, exponent, rng)
+    num_edges = int(out_degrees.sum())
+    in_weights = power_law_degrees(num_vertices, avg_degree, exponent, rng).astype(
+        np.float64
+    )
+    probabilities = in_weights / in_weights.sum()
+    targets = rng.choice(num_vertices, size=num_edges, p=probabilities)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(out_degrees, out=indptr[1:])
+    graph = CSRGraph(num_vertices, indptr, targets.astype(np.int64))
+    graph.validate()
+    return graph
+
+
+def connected_pairs_graph(num_vertices: int, num_components: int, seed: int = 4) -> CSRGraph:
+    """A graph made of ``num_components`` chained components, for testing
+    connected-component labeling with a known ground truth."""
+    if num_components <= 0 or num_components > num_vertices:
+        raise ValueError(
+            f"need 0 < num_components <= num_vertices, got {num_components}/{num_vertices}"
+        )
+    rng = np.random.default_rng(seed)
+    membership = np.sort(rng.integers(0, num_components, size=num_vertices))
+    sources: list = []
+    targets: list = []
+    # Chain the vertices of each component so it is connected.
+    for component in range(num_components):
+        members = np.where(membership == component)[0]
+        for left, right in zip(members[:-1], members[1:]):
+            sources.append(left)
+            targets.append(right)
+            sources.append(right)
+            targets.append(left)
+    order = np.argsort(np.array(sources, dtype=np.int64), kind="stable")
+    sources_arr = np.array(sources, dtype=np.int64)[order]
+    targets_arr = np.array(targets, dtype=np.int64)[order]
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    counts = np.bincount(sources_arr, minlength=num_vertices)
+    np.cumsum(counts, out=indptr[1:])
+    graph = CSRGraph(num_vertices, indptr, targets_arr)
+    graph.validate()
+    return graph

@@ -1,0 +1,79 @@
+"""HPCC-GUPS RandomAccess (§5.2, Fig. 9).
+
+GUPS updates random 8-byte words of a huge in-memory table:
+``Table[ran % TableSize] ^= ran``.  The table is sized several times the
+available DRAM, so the workload is a worst case for paging — near-zero page
+reuse — and the showcase for FlatFlash's direct byte-granular SSD access.
+
+GUPS = giga-updates per second = updates / (elapsed seconds * 1e9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.memory_system import MappedRegion, MemorySystem
+
+
+@dataclass
+class GUPSResult:
+    """Outcome of one GUPS run."""
+
+    updates: int
+    elapsed_ns: int
+    page_movements: int
+
+    @property
+    def gups(self) -> float:
+        """Giga-updates per simulated second."""
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.updates / self.elapsed_ns
+
+    @property
+    def mean_update_ns(self) -> float:
+        if self.updates == 0:
+            return 0.0
+        return self.elapsed_ns / self.updates
+
+
+def run_gups(
+    system: MemorySystem,
+    region: MappedRegion,
+    num_updates: int,
+    rng: Optional[np.random.Generator] = None,
+    verify: bool = False,
+) -> GUPSResult:
+    """Run the RandomAccess kernel against a mapped table.
+
+    Each update is a load-xor-store of one 64-bit word at a random table
+    index.  With ``verify`` (and payload tracking on) the xor is computed
+    on real data, so the table contents can be checked afterwards.
+    """
+    if num_updates <= 0:
+        raise ValueError(f"num_updates must be > 0, got {num_updates}")
+    if rng is None:
+        rng = np.random.default_rng(1234)
+    words = region.size // 8
+    indices = rng.integers(0, words, size=num_updates)
+    values = rng.integers(0, 2**63, size=num_updates, dtype=np.uint64)
+    start_ns = system.clock.now
+    start_moves = system.page_movements
+    if verify:
+        for index, value in zip(indices, values):
+            addr = region.addr(int(index) * 8)
+            current, _ = system.load_u64(addr)
+            system.store_u64(addr, current ^ int(value))
+    else:
+        for index in indices:
+            addr = region.addr(int(index) * 8)
+            system.load(addr, 8)
+            system.store(addr, 8)
+    return GUPSResult(
+        updates=num_updates,
+        elapsed_ns=system.clock.now - start_ns,
+        page_movements=system.page_movements - start_moves,
+    )

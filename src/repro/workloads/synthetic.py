@@ -1,0 +1,87 @@
+"""Synthetic cache-line access patterns (§5.1, Fig. 8).
+
+The paper's first experiment maps a file spanning the whole SSD, warms the
+system by touching the pages randomly, then measures the average latency of
+sequential and random 64-byte accesses.  These functions reproduce that
+driver against any :class:`~repro.core.memory_system.MemorySystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.memory_system import MappedRegion, MemorySystem
+from repro.sim.stats import LatencyStats
+
+
+def warm_up(
+    system: MemorySystem,
+    region: MappedRegion,
+    num_accesses: int,
+    rng: Optional[np.random.Generator] = None,
+) -> None:
+    """Touch random pages of the region to populate caches and DRAM."""
+    if rng is None:
+        rng = np.random.default_rng(42)
+    line = system.config.geometry.cacheline_size
+    pages = rng.integers(0, region.num_pages, size=num_accesses)
+    lines_per_page = region.page_size // line
+    offsets = rng.integers(0, lines_per_page, size=num_accesses) * line
+    for page, offset in zip(pages, offsets):
+        system.load(region.page_addr(int(page), int(offset)), line)
+
+
+def sequential_access(
+    system: MemorySystem,
+    region: MappedRegion,
+    num_ops: int,
+    size: int = 64,
+    write_ratio: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> LatencyStats:
+    """Sequential cache-line sweep over the region; returns per-op latencies."""
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError(f"write_ratio must be in [0, 1], got {write_ratio}")
+    if rng is None:
+        rng = np.random.default_rng(7)
+    stats = LatencyStats("sequential")
+    writes = rng.random(num_ops) < write_ratio
+    total_lines = region.size // size
+    for op in range(num_ops):
+        offset = (op % total_lines) * size
+        addr = region.addr(offset)
+        if writes[op]:
+            result = system.store(addr, size)
+        else:
+            result = system.load(addr, size)
+        stats.record(result.latency_ns)
+    return stats
+
+
+def random_access(
+    system: MemorySystem,
+    region: MappedRegion,
+    num_ops: int,
+    size: int = 64,
+    write_ratio: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> LatencyStats:
+    """Uniformly random cache-line accesses; returns per-op latencies."""
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError(f"write_ratio must be in [0, 1], got {write_ratio}")
+    if rng is None:
+        rng = np.random.default_rng(11)
+    stats = LatencyStats("random")
+    total_lines = region.size // size
+    indices = rng.integers(0, total_lines, size=num_ops)
+    writes = rng.random(num_ops) < write_ratio
+    for line_index, is_write in zip(indices, writes):
+        addr = region.addr(int(line_index) * size)
+        if is_write:
+            result = system.store(addr, size)
+        else:
+            result = system.load(addr, size)
+        stats.record(result.latency_ns)
+    return stats

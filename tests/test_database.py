@@ -1,0 +1,129 @@
+"""Tests for the mini transactional engine and its logging schemes."""
+
+import pytest
+
+from repro import FlatFlash, TraditionalStack, UnifiedMMap, small_config
+from repro.apps.database import LoggingScheme, MiniDB, run_oltp
+from repro.workloads.oltp import TATP, TPCB, generate_transactions
+
+
+def make_db(system_cls=FlatFlash, scheme=LoggingScheme.PER_TRANSACTION):
+    system = system_cls(small_config(track_data=False))
+    return MiniDB(system, scheme=scheme, table_pages=32, log_pages=8)
+
+
+def test_run_returns_throughput():
+    db = make_db()
+    txs = generate_transactions(TPCB, 40, table_bytes=db.table.size)
+    result = db.run(txs, num_threads=4)
+    assert result.transactions == 40
+    assert result.throughput_tps > 0
+    assert result.system == "FlatFlash"
+
+
+def test_thread_count_validated():
+    db = make_db()
+    txs = generate_transactions(TPCB, 4, table_bytes=db.table.size)
+    with pytest.raises(ValueError):
+        db.run(txs, num_threads=0)
+
+
+def test_empty_transactions_rejected():
+    db = make_db()
+    with pytest.raises(ValueError):
+        db.run([], num_threads=2)
+
+
+def test_more_threads_increase_throughput():
+    results = {}
+    for threads in (1, 8):
+        db = make_db()
+        txs = generate_transactions(TPCB, 80, table_bytes=db.table.size)
+        results[threads] = db.run(txs, num_threads=threads).throughput_tps
+    assert results[8] > results[1]
+
+
+def test_centralized_lock_contends():
+    db = make_db(scheme=LoggingScheme.CENTRALIZED)
+    txs = generate_transactions(TPCB, 64, table_bytes=db.table.size)
+    result = db.run(txs, num_threads=8)
+    assert result.log_lock_contention > 0.0
+
+
+def test_per_transaction_has_no_log_lock():
+    db = make_db(scheme=LoggingScheme.PER_TRANSACTION)
+    txs = generate_transactions(TPCB, 64, table_bytes=db.table.size)
+    result = db.run(txs, num_threads=8)
+    assert result.log_lock_contention == 0.0
+
+
+def test_per_tx_beats_centralized_at_high_threads():
+    throughput = {}
+    for scheme in LoggingScheme:
+        db = make_db(scheme=scheme)
+        txs = generate_transactions(TPCB, 160, table_bytes=db.table.size)
+        throughput[scheme] = db.run(txs, num_threads=16).throughput_tps
+    assert (
+        throughput[LoggingScheme.PER_TRANSACTION]
+        > throughput[LoggingScheme.CENTRALIZED]
+    )
+
+
+def test_flatflash_commit_has_no_channel_hold():
+    db = make_db(FlatFlash)
+    software, held, post = db._commit_costs(300)
+    assert held == 0
+    assert post > 0
+
+
+def test_block_commit_holds_a_channel():
+    db = make_db(UnifiedMMap)
+    _software, held, _post = db._commit_costs(300)
+    assert held > 0
+
+
+def test_traditional_pays_more_commit_software():
+    trad = make_db(TraditionalStack)
+    unified = make_db(UnifiedMMap)
+    assert trad._commit_costs(300)[0] > unified._commit_costs(300)[0]
+
+
+def test_flatflash_commit_cost_scales_with_log_bytes():
+    db = make_db(FlatFlash)
+    small = db._commit_costs(64)[2]
+    large = db._commit_costs(1_024)[2]
+    assert large > small
+
+
+def test_run_oltp_convenience():
+    system = FlatFlash(small_config(track_data=False))
+    result = run_oltp(system, TATP, num_transactions=40, num_threads=4, table_pages=16)
+    assert result.workload == "TATP"
+    assert result.threads == 4
+
+
+def test_commits_recorded():
+    db = make_db()
+    txs = generate_transactions(TPCB, 12, table_bytes=db.table.size)
+    db.run(txs, num_threads=2)
+    assert db.system.stats.counters()["db.commits"] == 12
+
+
+class TestGroupCommitModel:
+    def test_small_logs_amortize_channel_hold(self):
+        """Tiny records (TATP) pack many per page; big records (TPCC)
+        serialize harder on the log channel."""
+        db = make_db(UnifiedMMap)
+        tatp_held = db._commit_costs(128)[1]
+        tpcc_held = db._commit_costs(1_400)[1]
+        assert tatp_held < tpcc_held
+
+    def test_group_factor_capped(self):
+        db = make_db(UnifiedMMap)
+        held_tiny = db._commit_costs(1)[1]
+        program = db.system.config.latency.flash_program_page_ns
+        assert held_tiny >= program // 16  # at most 16-way grouping
+
+    def test_flatflash_unaffected_by_group_model(self):
+        db = make_db(FlatFlash)
+        assert db._commit_costs(128)[1] == 0

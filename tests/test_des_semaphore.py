@@ -1,0 +1,110 @@
+"""Tests for the DES counting semaphore."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.des import AcquireSlot, Delay, ReleaseSlot, Semaphore, Simulator
+
+
+def worker(sem, hold_ns):
+    yield AcquireSlot(sem)
+    yield Delay(hold_ns)
+    yield ReleaseSlot(sem)
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        Semaphore(0)
+
+
+def test_uncontended_slots_run_in_parallel():
+    sim = Simulator()
+    sem = Semaphore(4)
+    for _ in range(4):
+        sim.spawn(worker(sem, 100))
+    assert sim.run() == 100
+    assert sem.contention_ratio == 0.0
+
+
+def test_overcommit_serializes_in_batches():
+    sim = Simulator()
+    sem = Semaphore(2)
+    for _ in range(6):
+        sim.spawn(worker(sem, 100))
+    # 6 holders over 2 slots -> 3 batches of 100ns.
+    assert sim.run() == 300
+    assert sem.contended_acquisitions == 4
+
+
+def test_capacity_one_behaves_like_a_lock():
+    sim = Simulator()
+    sem = Semaphore(1)
+    for _ in range(3):
+        sim.spawn(worker(sem, 50))
+    assert sim.run() == 150
+
+
+def test_release_without_slot_raises():
+    sim = Simulator()
+    sem = Semaphore(1)
+
+    def bad():
+        yield ReleaseSlot(sem)
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_fifo_handoff():
+    sim = Simulator()
+    sem = Semaphore(1)
+    order = []
+
+    def named(name, start):
+        yield Delay(start)
+        yield AcquireSlot(sem)
+        order.append(name)
+        yield Delay(10)
+        yield ReleaseSlot(sem)
+
+    sim.spawn(named("a", 0))
+    sim.spawn(named("b", 1))
+    sim.spawn(named("c", 2))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_blocked_forever_is_deadlock():
+    sim = Simulator()
+    sem = Semaphore(1)
+
+    def hog():
+        yield AcquireSlot(sem)
+        yield Delay(10)
+        # never releases
+
+    def waiter():
+        yield AcquireSlot(sem)
+        yield ReleaseSlot(sem)
+
+    sim.spawn(hog())
+    sim.spawn(waiter())
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run()
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.integers(1, 6),
+    st.lists(st.integers(1, 200), min_size=1, max_size=18),
+)
+def test_makespan_matches_batch_model_for_equal_holds(capacity, holds):
+    """With equal hold times, makespan = ceil(n/capacity) * hold."""
+    hold = holds[0]
+    sim = Simulator()
+    sem = Semaphore(capacity)
+    for _ in range(len(holds)):
+        sim.spawn(worker(sem, hold))
+    batches = -(-len(holds) // capacity)
+    assert sim.run() == batches * hold

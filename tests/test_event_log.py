@@ -1,0 +1,87 @@
+"""Tests for the debug event-trace facility."""
+
+import pytest
+
+from repro import FlatFlash, UnifiedMMap, small_config
+
+
+def hammer(system, region, page=0, touches=16):
+    for line in range(touches):
+        system.load(region.page_addr(page, (line % 64) * 64), 64)
+
+
+def test_disabled_by_default():
+    system = FlatFlash(small_config())
+    region = system.mmap(8)
+    hammer(system, region)
+    assert system.events() == []
+
+
+def test_promotion_events_recorded():
+    system = FlatFlash(small_config())
+    system.enable_event_log()
+    region = system.mmap(8)
+    hammer(system, region)
+    system.quiesce()
+    starts = system.events("promotion_start")
+    completes = system.events("promotion_complete")
+    assert len(starts) == 1
+    assert len(completes) == 1
+    assert starts[0][2]["vpn"] == region.base_vpn
+    assert starts[0][0] <= completes[0][0]  # ordered timestamps
+
+
+def test_eviction_events_recorded():
+    system = FlatFlash(small_config())
+    system.enable_event_log()
+    region = system.mmap(64)
+    for page in range(system.dram.num_frames + 4):
+        hammer(system, region, page=page, touches=10)
+        system.quiesce()
+    assert system.events("eviction")
+
+
+def test_fault_events_on_paging_baseline():
+    system = UnifiedMMap(small_config())
+    system.enable_event_log()
+    region = system.mmap(4)
+    system.load(region.addr(0), 8)
+    faults = system.events("fault")
+    assert len(faults) == 1
+    assert faults[0][2]["vpn"] == region.base_vpn
+
+
+def test_ring_capacity_bounds_memory():
+    system = UnifiedMMap(small_config())
+    system.enable_event_log(capacity=4)
+    region = system.mmap(16)
+    for page in range(16):
+        system.load(region.page_addr(page, 0), 8)
+    assert len(system.events()) == 4  # only the newest survive
+
+
+def test_filter_by_kind():
+    system = UnifiedMMap(small_config())
+    system.enable_event_log()
+    frames = system.dram.num_frames
+    region = system.mmap(frames + 4)
+    for page in range(frames + 4):
+        system.load(region.page_addr(page, 0), 8)
+    kinds = {event[1] for event in system.events()}
+    assert "fault" in kinds
+    assert "eviction" in kinds
+    assert all(event[1] == "fault" for event in system.events("fault"))
+
+
+def test_disable_clears():
+    system = FlatFlash(small_config())
+    system.enable_event_log()
+    region = system.mmap(4)
+    hammer(system, region)
+    system.disable_event_log()
+    assert system.events() == []
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        FlatFlash(small_config()).enable_event_log(capacity=0)

@@ -1,0 +1,210 @@
+"""Smoke tests: every experiment driver runs at tiny scale and keeps the
+paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    common,
+    fig8,
+    fig9,
+    fig10,
+    fig11_12,
+    fig13,
+    fig14,
+    table2,
+    table3,
+)
+
+
+class TestCommon:
+    def test_scaled_config_ratios(self):
+        config = common.scaled_config(dram_pages=32, ssd_to_dram=128)
+        assert config.geometry.ssd_pages == 32 * 128
+        assert not config.track_data
+
+    def test_scaled_config_latency_override(self):
+        config = common.scaled_config(flash_read_page_ns=5_000)
+        assert config.latency.flash_read_page_ns == 5_000
+
+    def test_scaled_config_unknown_field(self):
+        with pytest.raises(TypeError):
+            common.scaled_config(warp_drive=True)
+
+    def test_build_system_names(self):
+        for name in common.SYSTEMS:
+            system = common.build_system(name, common.scaled_config(dram_pages=2_048, ssd_to_dram=4))
+            assert system.name == name
+
+    def test_build_system_unknown(self):
+        with pytest.raises(ValueError):
+            common.build_system("MagicStore", common.scaled_config())
+
+    def test_experiment_result_filtering(self):
+        result = common.ExperimentResult("x", "y")
+        result.add(a=1, b="u")
+        result.add(a=2, b="v")
+        assert result.column("a") == [1, 2]
+        assert result.filtered(b="v")[0]["a"] == 2
+
+
+class TestDrivers:
+    def test_table2_matches_paper_exactly(self):
+        result = table2.run()
+        for row in result.rows:
+            assert row["measured_us"] == row["paper_us"]
+
+    def test_fig8_ordering_shape(self):
+        result = fig8.run(ratios=[32], dram_pages=16, num_ops=400, warmup_ops=200)
+        flat = result.filtered(system="FlatFlash")[0]
+        unified = result.filtered(system="UnifiedMMap")[0]
+        assert flat["random_ns"] < unified["random_ns"]
+
+    def test_fig9a_flatflash_wins_gups(self):
+        result = fig9.run_fig9a(ratios=[64], dram_pages=16, num_updates=1_500)
+        flat = result.filtered(system="FlatFlash")[0]
+        unified = result.filtered(system="UnifiedMMap")[0]
+        assert flat["mean_update_ns"] < unified["mean_update_ns"]
+        assert flat["page_movements"] <= unified["page_movements"]
+
+    def test_fig9b_monotone_in_cache_size(self):
+        result = fig9.run_fig9b(
+            cache_ratios=[0.001, 0.02], dram_pages=16, num_updates=1_200
+        )
+        speedups = [row["speedup_vs_unified"] for row in result.rows]
+        assert speedups[-1] >= speedups[0]
+
+    def test_fig10_smoke(self):
+        result = fig10.run(
+            algorithms=["connected-components"],
+            graph_names=["twitter-like"],
+            dram_ratios=[4],
+            cc_iterations=1,
+        )
+        assert len(result.rows) == 3  # three systems
+
+    def test_fig11_12_smoke(self):
+        result = fig11_12.run(
+            workload_names=["YCSB-B"], ws_ratios=[8], dram_pages=16, num_ops=1_200
+        )
+        flat = result.filtered(system="FlatFlash")[0]
+        unified = result.filtered(system="UnifiedMMap")[0]
+        assert flat["p99_ns"] <= unified["p99_ns"]
+        assert flat["page_movements"] <= unified["page_movements"]
+
+    def test_fig13_byte_beats_block_everywhere(self):
+        from repro.apps.filesystem import FileSystemKind
+
+        result = fig13.run(
+            workloads=["CreateFile"],
+            kinds=[FileSystemKind.EXT4, FileSystemKind.BTRFS],
+            ops_per_workload=30,
+        )
+        for row in result.rows:
+            assert row["speedup"] > 1.0
+
+    def test_fig14_scaling_smoke(self):
+        result = fig14.run_threads(
+            workload_names=["TPCB"], thread_counts=[4, 8], transactions_per_thread=25
+        )
+        flat8 = result.filtered(system="FlatFlash", threads=8)[0]
+        unified8 = result.filtered(system="UnifiedMMap", threads=8)[0]
+        assert flat8["throughput_tps"] > unified8["throughput_tps"]
+
+    def test_fig14d_smoke(self):
+        result = fig14.run_device_latency_sweep(
+            latencies_us=[20, 1], threads=8, transactions_per_thread=25
+        )
+        assert len(result.rows) == 6
+
+    def test_table3_hybrid_wins_perf_per_dollar(self):
+        result = table3.run(workloads=["GUPS"])
+        assert result.rows[0]["cost_effectiveness"] > 1.0
+
+
+class TestAblations:
+    def test_promotion_policy_traffic_story(self):
+        result = ablations.run_promotion_policy(num_ops=1_500, dram_pages=16)
+        rows = {row["policy"]: row for row in result.rows}
+        assert rows["fixed(1)"]["page_movements"] > rows["adaptive (Alg. 1)"]["page_movements"]
+
+    def test_plb_reduces_stall(self):
+        result = ablations.run_plb(num_ops=1_500, dram_pages=16)
+        rows = {row["mode"]: row for row in result.rows}
+        assert (
+            rows["stall on promotion"]["mean_ns"]
+            > rows["PLB (off critical path)"]["mean_ns"]
+        )
+
+    def test_cacheable_mmio_hot_lines(self):
+        result = ablations.run_cacheable_mmio(num_ops=600)
+        rows = {row["mode"]: row for row in result.rows}
+        assert rows["uncacheable"]["hot_line_ns"] > rows["cacheable (CAPI)"]["hot_line_ns"]
+
+    def test_logging_scheme_sweep(self):
+        result = ablations.run_logging_scheme(thread_counts=[2, 8], tx_per_thread=20)
+        high = result.filtered(threads=8)[0]
+        assert high["per_tx_tps"] >= high["central_tps"]
+
+
+class TestBreakdownAndInterference:
+    def test_breakdown_shares_sum_to_one(self):
+        from repro.experiments import breakdown
+
+        result = breakdown.run(dram_pages=16, num_ops=1_200)
+        for system in {row["system"] for row in result.rows}:
+            share = sum(r["share"] for r in result.filtered(system=system))
+            assert share == pytest.approx(1.0, abs=0.01)
+
+    def test_breakdown_baselines_serve_all_from_dram(self):
+        from repro.experiments import breakdown
+
+        result = breakdown.run(dram_pages=16, num_ops=1_000)
+        for baseline in ("TraditionalStack", "UnifiedMMap"):
+            rows = result.filtered(system=baseline)
+            assert len(rows) == 1
+            assert rows[0]["source"] == "dram"
+
+    def test_breakdown_flatflash_uses_multiple_sources(self):
+        from repro.experiments import breakdown
+
+        result = breakdown.run(dram_pages=16, num_ops=1_000)
+        sources = {row["source"] for row in result.filtered(system="FlatFlash")}
+        assert len(sources) >= 2
+
+    def test_interference_smoke(self):
+        from repro.experiments import interference
+
+        result = interference.run(dram_pages=16, num_ops=800)
+        rows = {row["system"]: row for row in result.rows}
+        assert rows["FlatFlash"]["loaded_mean_ns"] < rows["UnifiedMMap"]["loaded_mean_ns"]
+
+    def test_prefetch_ablation_smoke(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_prefetch(num_ops=1_200, dram_pages=16)
+        rows = {row["mode"]: row for row in result.rows}
+        assert rows["prefetch after 2"]["prefetches"] > 0
+
+    def test_device_tech_smoke(self):
+        from repro.experiments import device_tech
+
+        profile = device_tech.PROFILES[1]
+        result = device_tech.run(profiles=[profile], num_ops=1_000, dram_pages=16)
+        assert all(row["speedup"] > 0 for row in result.rows)
+
+    def test_latency_cdf_monotone_and_flatflash_dominates(self):
+        from repro.experiments import fig11_12
+
+        table = fig11_12.run_cdf(num_ops=1_500, dram_pages=16)
+        # Parse the rendered rows: each CDF column must be non-decreasing
+        # and end at 1.0, and FlatFlash's curve must dominate the others.
+        columns = {name: [] for name in ("TraditionalStack", "UnifiedMMap", "FlatFlash")}
+        for row in table.rows:
+            for index, name in enumerate(columns):
+                columns[name].append(float(row[1 + index]))
+        for name, series in columns.items():
+            assert series == sorted(series), name
+            assert series[-1] == pytest.approx(1.0)
+        for flat, unified in zip(columns["FlatFlash"], columns["UnifiedMMap"]):
+            assert flat >= unified - 1e-9

@@ -1,0 +1,101 @@
+"""Tests for graph generation and CSR structure."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    connected_pairs_graph,
+    power_law_degrees,
+    power_law_graph,
+)
+
+
+def test_power_law_graph_valid_csr():
+    graph = power_law_graph(500, avg_degree=6, seed=1)
+    graph.validate()
+    assert graph.num_vertices == 500
+    assert graph.num_edges == graph.indptr[-1]
+
+
+def test_average_degree_close_to_requested():
+    graph = power_law_graph(2_000, avg_degree=10, seed=2)
+    assert graph.num_edges / graph.num_vertices == pytest.approx(10, rel=0.3)
+
+
+def test_degree_distribution_is_skewed():
+    graph = power_law_graph(2_000, avg_degree=10, seed=3)
+    in_degrees = np.bincount(graph.indices, minlength=graph.num_vertices)
+    # Heavy tail: the top vertex collects far more than the mean.
+    assert in_degrees.max() > 10 * in_degrees.mean()
+
+
+def test_neighbors_and_degree():
+    graph = power_law_graph(100, avg_degree=4, seed=4)
+    vertex = int(np.argmax(np.diff(graph.indptr)))
+    assert graph.degree(vertex) == len(graph.neighbors(vertex))
+
+
+def test_determinism_by_seed():
+    a = power_law_graph(300, avg_degree=5, seed=9)
+    b = power_law_graph(300, avg_degree=5, seed=9)
+    assert np.array_equal(a.indices, b.indices)
+    c = power_law_graph(300, avg_degree=5, seed=10)
+    assert not np.array_equal(a.indices, c.indices)
+
+
+def test_power_law_degrees_bounds():
+    rng = np.random.default_rng(0)
+    degrees = power_law_degrees(1_000, 8.0, 2.1, rng)
+    assert degrees.min() >= 1
+    assert degrees.mean() == pytest.approx(8.0, rel=0.35)
+
+
+def test_power_law_parameters_validated():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        power_law_degrees(0, 8, 2.1, rng)
+    with pytest.raises(ValueError):
+        power_law_degrees(10, -1, 2.1, rng)
+    with pytest.raises(ValueError):
+        power_law_degrees(10, 8, 1.0, rng)
+
+
+def test_csr_validation_catches_bad_indptr():
+    graph = CSRGraph(3, np.array([0, 2, 1, 2]), np.array([0, 1]))
+    with pytest.raises(ValueError):
+        graph.validate()
+
+
+def test_csr_validation_catches_out_of_range_edges():
+    graph = CSRGraph(2, np.array([0, 1, 2]), np.array([0, 5]))
+    with pytest.raises(ValueError):
+        graph.validate()
+
+
+def test_connected_pairs_graph_component_count():
+    graph = connected_pairs_graph(40, num_components=4, seed=6)
+    graph.validate()
+    # Union-find ground truth: count weakly connected components.
+    parent = list(range(graph.num_vertices))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for source in range(graph.num_vertices):
+        for target in graph.neighbors(source):
+            a, b = find(source), find(int(target))
+            if a != b:
+                parent[a] = b
+    roots = {find(v) for v in range(graph.num_vertices)}
+    assert len(roots) == 4
+
+
+def test_connected_pairs_invalid_component_count():
+    with pytest.raises(ValueError):
+        connected_pairs_graph(10, 0)
+    with pytest.raises(ValueError):
+        connected_pairs_graph(10, 11)

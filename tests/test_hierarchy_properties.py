@@ -1,0 +1,146 @@
+"""Property-based tests: the hierarchy is a correct memory, always.
+
+The defining invariant of every memory system under test: an arbitrary
+interleaving of loads and stores behaves exactly like a flat byte array,
+regardless of promotions, evictions, PLB windows, SSD-Cache churn and GC
+happening underneath.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DRAMOnly, FlatFlash, TraditionalStack, UnifiedMMap, small_config
+
+PAGES = 12
+SIZE = PAGES * 4_096
+
+# (offset, length, value) triples; value None means load-and-check.
+operations = st.lists(
+    st.tuples(
+        st.integers(0, SIZE - 16),
+        st.sampled_from([1, 4, 8, 16]),
+        st.one_of(st.none(), st.integers(0, 255)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_against_model(system_cls, ops):
+    system = system_cls(small_config())
+    region = system.mmap(PAGES)
+    model = bytearray(SIZE)
+    for offset, length, value in ops:
+        if value is None:
+            data = system.load(region.addr(offset), length).data
+            assert data == bytes(model[offset : offset + length]), (
+                f"{system.name} diverged at [{offset}, {offset + length})"
+            )
+        else:
+            payload = bytes([value]) * length
+            system.store(region.addr(offset), length, payload)
+            model[offset : offset + length] = payload
+    # Final sweep: every page must match the model byte for byte (full-page
+    # loads, so promotion/PLB merge bugs anywhere in a page are caught).
+    for page in range(PAGES):
+        data = system.load(region.addr(page * 4_096), 4_096).data
+        assert data == bytes(model[page * 4_096 : (page + 1) * 4_096])
+
+
+@settings(deadline=None, max_examples=40)
+@given(operations)
+def test_flatflash_is_a_correct_memory(ops):
+    run_against_model(FlatFlash, ops)
+
+
+@settings(deadline=None, max_examples=25)
+@given(operations)
+def test_unified_mmap_is_a_correct_memory(ops):
+    run_against_model(UnifiedMMap, ops)
+
+
+@settings(deadline=None, max_examples=25)
+@given(operations)
+def test_traditional_stack_is_a_correct_memory(ops):
+    run_against_model(TraditionalStack, ops)
+
+
+@settings(deadline=None, max_examples=15)
+@given(operations)
+def test_dram_only_is_a_correct_memory(ops):
+    run_against_model(DRAMOnly, ops)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.lists(st.tuples(st.integers(0, PAGES - 1), st.integers(0, 255)), min_size=8, max_size=60),
+    st.integers(0, 2**32 - 1),
+)
+def test_promotion_eviction_churn_preserves_data(writes, seed):
+    """Hammer pages so hard that promotions and evictions must happen, then
+    verify every page still reads back its last written value."""
+    system = FlatFlash(small_config())
+    region = system.mmap(PAGES)
+    model = {}
+    rng = np.random.default_rng(seed)
+    for page, value in writes:
+        payload = bytes([value]) * 8
+        system.store(region.page_addr(page, 16), 8, payload)
+        model[page] = payload
+        # Random extra touches drive the promotion counters.
+        for _ in range(int(rng.integers(0, 6))):
+            line = int(rng.integers(0, 64))
+            system.load(region.page_addr(page, line * 64), 64)
+    system.quiesce()
+    for page, payload in model.items():
+        assert system.load(region.page_addr(page, 16), 8).data == payload
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 2**32 - 1))
+def test_clock_monotone_and_background_separate(seed):
+    system = FlatFlash(small_config())
+    region = system.mmap(PAGES)
+    rng = np.random.default_rng(seed)
+    last = system.clock.now
+    for _ in range(100):
+        offset = int(rng.integers(0, SIZE - 8))
+        if rng.random() < 0.5:
+            system.load(region.addr(offset), 8)
+        else:
+            system.store(region.addr(offset), 8)
+        assert system.clock.now >= last
+        last = system.clock.now
+    assert system.background_ns >= 0
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 255), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_crash_recovery_respects_fences(script):
+    """Persistence property: after a crash, every page holds the value of
+    its last *fenced* write; unfenced tails roll back."""
+    from repro.core.persistence import create_pmem_region
+
+    system = FlatFlash(small_config())
+    pmem = create_pmem_region(system, num_pages=4)
+    durable = {}
+    pending = {}
+    for page, value, fence in script:
+        payload = bytes([value]) * 8
+        pmem.persist_store(page * 4_096, 8, payload)
+        pending[page] = payload
+        if fence:
+            pmem.commit()
+            durable.update(pending)
+            pending.clear()
+    system.ssd.crash()
+    for page in range(4):
+        expected = durable.get(page, b"\x00" * 8)
+        assert pmem.recover_bytes(page * 4_096, 8) == expected

@@ -1,0 +1,95 @@
+"""Tests for the log2-bucketed latency histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Histogram
+
+
+def test_bucket_boundaries():
+    hist = Histogram("h", base_ns=1_000)
+    assert hist.bucket_of(0) == 0
+    assert hist.bucket_of(999) == 0
+    assert hist.bucket_of(1_000) == 1
+    assert hist.bucket_of(1_999) == 1
+    assert hist.bucket_of(2_000) == 2
+    assert hist.bucket_of(4_000) == 3
+
+
+def test_overflow_clamps_to_last_bucket():
+    hist = Histogram("h", base_ns=1_000, num_buckets=3)
+    assert hist.bucket_of(10**12) == 2
+
+
+def test_bucket_bound():
+    hist = Histogram("h", base_ns=1_000)
+    assert hist.bucket_bound_ns(0) == 1_000
+    assert hist.bucket_bound_ns(3) == 8_000
+
+
+def test_record_and_cdf():
+    hist = Histogram("h", base_ns=1_000, num_buckets=4)
+    hist.extend([100, 200, 1_500, 5_000])
+    cdf = hist.cdf()
+    assert cdf[0] == pytest.approx(0.5)  # two samples under 1us
+    assert cdf[1] == pytest.approx(0.75)
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+def test_empty_cdf_is_zero():
+    assert Histogram("h").cdf()[-1] == 0.0
+
+
+def test_quantile_bound():
+    hist = Histogram("h", base_ns=1_000)
+    hist.extend([100] * 99 + [50_000])
+    assert hist.quantile_bound_ns(0.5) == 1_000
+    assert hist.quantile_bound_ns(0.99) == 1_000
+    assert hist.quantile_bound_ns(1.0) >= 50_000
+
+
+def test_quantile_validation():
+    hist = Histogram("h")
+    hist.record(1)
+    with pytest.raises(ValueError):
+        hist.quantile_bound_ns(0.0)
+    with pytest.raises(ValueError):
+        hist.quantile_bound_ns(1.5)
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        Histogram("h").record(-1)
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ValueError):
+        Histogram("h", base_ns=0)
+    with pytest.raises(ValueError):
+        Histogram("h", num_buckets=1)
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=1, max_size=200))
+def test_cdf_is_monotone_and_complete(samples):
+    hist = Histogram("h")
+    hist.extend(samples)
+    cdf = hist.cdf()
+    assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+    assert cdf[-1] == pytest.approx(1.0)
+    assert hist.count == len(samples)
+
+
+@given(st.lists(st.integers(0, 10**7), min_size=1, max_size=100))
+def test_quantile_bound_covers_true_quantile(samples):
+    """The bucket bound at fraction f is >= the exact f-quantile sample."""
+    import math
+
+    hist = Histogram("h")
+    hist.extend(samples)
+    ordered = sorted(samples)
+    for fraction in (0.5, 0.9, 1.0):
+        rank = max(1, math.ceil(fraction * len(ordered)))  # nearest-rank
+        exact = ordered[rank - 1]
+        assert hist.quantile_bound_ns(fraction) >= min(
+            exact, hist.bucket_bound_ns(len(hist.buckets) - 1)
+        )

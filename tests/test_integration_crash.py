@@ -1,0 +1,186 @@
+"""End-to-end crash-consistency integration: a bank ledger on FlatFlash.
+
+This is the paper's §3.5 story exercised as one system: account balances
+live in a persistent region, every transfer first appends a durable WAL
+record (byte-granular, fenced), then applies the balance updates with
+posted (un-fenced) stores.
+
+One subtlety makes naive redo logging wrong here: the write-verify read is
+a *device-global* fence, so the WAL append of transfer N+1 also makes
+transfer N's posted balance updates durable.  Replaying the whole log over
+the balances would then double-apply them.  The ledger therefore stores an
+``applied-sequence`` next to each balance (updated atomically in one posted
+write) and recovery replays only records newer than each account's applied
+sequence — the classic idempotent-redo discipline.
+
+Invariants checked at every possible crash point:
+
+* total money is conserved,
+* every balance equals the executed prefix of transfers.
+"""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro import FlatFlash, create_pmem_region, small_config
+from repro.apps.wal import WriteAheadLog
+
+ACCOUNTS = 8
+INITIAL = 1_000
+_RECORD = struct.Struct("<QHHq")  # seq, from, to, amount
+_SLOT = struct.Struct("<qQ")  # balance, applied seq
+
+
+class MiniBank:
+    """Crash-consistent transfers: durable WAL first, idempotent redo."""
+
+    def __init__(self, system: FlatFlash) -> None:
+        self.system = system
+        self.ledger = create_pmem_region(system, num_pages=1, name="balances")
+        self.wal = WriteAheadLog.create(system, num_pages=2, name="bank-wal")
+        self._seq = 0
+        for account in range(ACCOUNTS):
+            self._write_slot(account, INITIAL, 0)
+        self.ledger.commit()  # the initial checkpoint is durable
+
+    # ------------------------------------------------------------------ #
+    # Ledger slots (balance + applied sequence, one atomic posted write)
+    # ------------------------------------------------------------------ #
+
+    def _write_slot(self, account: int, balance: int, seq: int) -> None:
+        self.ledger.persist_store(
+            account * _SLOT.size, _SLOT.size, _SLOT.pack(balance, seq)
+        )
+
+    def _read_slot(self, account: int):
+        raw = self.ledger.load(account * _SLOT.size, _SLOT.size)
+        return _SLOT.unpack(raw)
+
+    def _read_slot_recovered(self, account: int):
+        raw = self.ledger.recover_bytes(account * _SLOT.size, _SLOT.size)
+        return _SLOT.unpack(raw)
+
+    def balance(self, account: int) -> int:
+        return self._read_slot(account)[0]
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def transfer(self, source: int, target: int, amount: int) -> None:
+        if source == target or amount == 0:
+            return  # no-op: nothing to log or apply
+        self._seq += 1
+        # 1. Durable intent record (fenced append).
+        self.wal.append(_RECORD.pack(self._seq, source, target, amount))
+        # 2. Posted, un-fenced balance updates tagged with the sequence.
+        balance, _ = self._read_slot(source)
+        self._write_slot(source, balance - amount, self._seq)
+        balance, _ = self._read_slot(target)
+        self._write_slot(target, balance + amount, self._seq)
+
+    def checkpoint(self) -> None:
+        """Fence the ledger and truncate the log."""
+        self.ledger.commit()
+        self.wal.truncate()
+
+    def recover(self) -> dict:
+        """Post-crash state: durable ledger + idempotent WAL redo."""
+        slots = {
+            account: list(self._read_slot_recovered(account))
+            for account in range(ACCOUNTS)
+        }
+        for payload in self.wal.recover():
+            seq, source, target, amount = _RECORD.unpack(payload)
+            if slots[source][1] < seq:
+                slots[source][0] -= amount
+                slots[source][1] = seq
+            if slots[target][1] < seq:
+                slots[target][0] += amount
+                slots[target][1] = seq
+        return {account: slot[0] for account, slot in slots.items()}
+
+
+def fresh_bank() -> MiniBank:
+    return MiniBank(FlatFlash(small_config()))
+
+
+def test_transfers_visible_before_crash():
+    bank = fresh_bank()
+    bank.transfer(0, 1, 250)
+    assert bank.balance(0) == 750
+    assert bank.balance(1) == 1_250
+
+
+def test_recovery_replays_wal_over_checkpoint():
+    bank = fresh_bank()
+    bank.transfer(0, 1, 100)
+    bank.transfer(1, 2, 50)
+    bank.system.ssd.crash()
+    balances = bank.recover()
+    assert balances[0] == 900
+    assert balances[1] == 1_050
+    assert balances[2] == 1_050
+
+
+def test_checkpoint_makes_balances_durable_without_wal():
+    bank = fresh_bank()
+    bank.transfer(0, 1, 300)
+    bank.checkpoint()
+    bank.system.ssd.crash()
+    balances = bank.recover()
+    assert balances[0] == 700
+    assert balances[1] == 1_300
+
+
+def test_total_conserved_across_crash():
+    bank = fresh_bank()
+    bank.transfer(3, 4, 17)
+    bank.transfer(4, 5, 400)
+    bank.transfer(5, 3, 1)
+    bank.system.ssd.crash()
+    assert sum(bank.recover().values()) == ACCOUNTS * INITIAL
+
+
+def test_self_transfer_is_idempotent_too():
+    bank = fresh_bank()
+    bank.transfer(2, 2, 99)
+    bank.system.ssd.crash()
+    assert bank.recover()[2] == INITIAL
+
+
+transfer_lists = st.lists(
+    st.tuples(
+        st.integers(0, ACCOUNTS - 1),
+        st.integers(0, ACCOUNTS - 1),
+        st.integers(1, 500),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(deadline=None, max_examples=25)
+@given(transfer_lists, st.integers(0, 25), st.booleans())
+def test_crash_anywhere_preserves_invariants(transfers, crash_after, mid_checkpoint):
+    """Crash after any prefix of transfers (optionally with a checkpoint in
+    the middle): recovery must reconstruct exactly the executed prefix."""
+    bank = fresh_bank()
+    executed = []
+    for index, (source, target, amount) in enumerate(transfers):
+        if index == crash_after:
+            break
+        if mid_checkpoint and index == len(transfers) // 2:
+            bank.checkpoint()
+        bank.transfer(source, target, amount)
+        executed.append((source, target, amount))
+    bank.system.ssd.crash()
+    balances = bank.recover()
+    expected = {account: INITIAL for account in range(ACCOUNTS)}
+    for source, target, amount in executed:
+        if source != target:
+            expected[source] -= amount
+            expected[target] += amount
+    assert balances == expected
+    assert sum(balances.values()) == ACCOUNTS * INITIAL

@@ -1,0 +1,95 @@
+"""Tests for the unified page table."""
+
+import pytest
+
+from repro.host.page_table import Domain, PageTable, PageTableEntry
+
+
+def test_entry_created_on_demand():
+    table = PageTable(walk_cost_ns=700)
+    pte = table.entry(5)
+    assert pte.vpn == 5
+    assert not pte.present
+    assert table.entry(5) is pte
+
+
+def test_lookup_does_not_create():
+    table = PageTable(700)
+    assert table.lookup(3) is None
+    table.entry(3)
+    assert table.lookup(3) is not None
+
+
+def test_walk_charges_cost():
+    table = PageTable(700)
+    table.entry(1)
+    pte, cost = table.walk(1)
+    assert cost == 700
+    assert pte.vpn == 1
+
+
+def test_walk_unmapped_raises():
+    table = PageTable(700)
+    with pytest.raises(KeyError):
+        table.walk(9)
+
+
+def test_walk_counts():
+    table = PageTable(700)
+    table.entry(0)
+    table.walk(0)
+    table.walk(0)
+    assert table.stats.counters()["page_table.walks"] == 2
+
+
+def test_point_to_dram():
+    pte = PageTableEntry(0)
+    pte.point_to_dram(3)
+    assert pte.present
+    assert pte.domain is Domain.DRAM
+    assert pte.frame_index == 3
+
+
+def test_point_to_ssd_present():
+    pte = PageTableEntry(0)
+    pte.point_to_ssd(42, present=True)
+    assert pte.present
+    assert pte.domain is Domain.SSD
+    assert pte.ssd_page == 42
+    assert pte.frame_index is None
+
+
+def test_point_to_ssd_non_present_faults_model():
+    pte = PageTableEntry(0)
+    pte.point_to_ssd(42, present=False)
+    assert not pte.present
+
+
+def test_domain_transitions_round_trip():
+    pte = PageTableEntry(0)
+    pte.point_to_ssd(10, present=True)
+    pte.point_to_dram(1)
+    assert pte.domain is Domain.DRAM
+    pte.point_to_ssd(11, present=True)
+    assert pte.domain is Domain.SSD
+    assert pte.ssd_page == 11
+
+
+def test_persist_bit_independent_of_location():
+    pte = PageTableEntry(0)
+    pte.persist = True
+    pte.point_to_ssd(1, present=True)
+    assert pte.persist
+
+
+def test_mapped_vpns_snapshot():
+    table = PageTable(700)
+    table.entry(1)
+    table.entry(2)
+    assert set(table.mapped_vpns()) == {1, 2}
+    assert len(table) == 2
+
+
+def test_negative_walk_cost_rejected():
+    with pytest.raises(ValueError):
+        PageTable(-1)

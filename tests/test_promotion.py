@@ -1,0 +1,171 @@
+"""Tests for Algorithm 1 — hand-traced against the paper's pseudocode."""
+
+import pytest
+
+from repro.config import PromotionConfig
+from repro.core.promotion import (
+    AdaptivePromotionPolicy,
+    FixedPromotionPolicy,
+    PromotionManager,
+)
+from repro.ssd.ssd_cache import CacheEntry
+
+
+def entry(lpn=0):
+    return CacheEntry(lpn, None, dirty=False)
+
+
+def make_policy(**overrides):
+    config = PromotionConfig(**overrides)
+    return AdaptivePromotionPolicy(config)
+
+
+class TestAdaptivePolicy:
+    def test_initial_threshold_is_max(self):
+        policy = make_policy(max_threshold=7)
+        assert policy.curr_threshold == 7
+
+    def test_page_promotes_when_counter_reaches_threshold(self):
+        policy = make_policy(max_threshold=3)
+        page = entry()
+        assert not policy.update(page)  # cnt 1
+        assert not policy.update(page)  # cnt 2
+        assert policy.update(page)  # cnt 3 == threshold
+        assert page.page_cnt == 3
+
+    def test_counters_track_paper_variables(self):
+        policy = make_policy(max_threshold=3)
+        page = entry()
+        policy.update(page)
+        policy.update(page)
+        assert policy.net_agg_cnt == 2
+        assert policy.access_cnt == 2
+        assert policy.agg_promoted_cnt == 0
+        policy.update(page)
+        assert policy.agg_promoted_cnt == 3  # += pageCnt on promotion
+
+    def test_low_reuse_raises_threshold(self):
+        policy = make_policy(max_threshold=7, lw_ratio=0.25, hi_ratio=0.75)
+        policy.curr_threshold = 3
+        # Distinct pages, one access each: currRatio stays 0 <= LwRatio.
+        for lpn in range(4):
+            policy.update(entry(lpn))
+        assert policy.curr_threshold == 7
+
+    def test_threshold_capped_at_max(self):
+        policy = make_policy(max_threshold=4)
+        for lpn in range(20):
+            policy.update(entry(lpn))
+        assert policy.curr_threshold == 4
+
+    def test_high_reuse_lowers_threshold_on_promotion(self):
+        policy = make_policy(max_threshold=7, lw_ratio=0.25, hi_ratio=0.75)
+        page = entry()
+        results = [policy.update(page) for _ in range(7)]
+        # Promoted exactly on the 7th access (counter catches the threshold
+        # only at max), and the promoting access with ratio 1.0 lowers it.
+        assert results == [False] * 6 + [True]
+        assert policy.curr_threshold == 6
+
+    def test_threshold_never_below_one(self):
+        policy = make_policy(max_threshold=2)
+        policy.curr_threshold = 1
+        page = entry()
+        policy.update(page)  # promotes immediately: ratio 1.0 >= HiRatio
+        assert policy.curr_threshold >= 1
+
+    def test_adjust_cnt_retires_counter(self):
+        policy = make_policy()
+        page = entry()
+        policy.update(page)
+        policy.update(page)
+        policy.adjust_cnt(page)
+        assert page.page_cnt == 0
+        assert policy.net_agg_cnt == 0
+
+    def test_reset_epoch_reseeds_access_cnt_from_net_agg(self):
+        policy = make_policy(max_threshold=7, reset_epoch=5)
+        pages = [entry(lpn) for lpn in range(2)]
+        for index in range(5):
+            policy.update(pages[index % 2])
+        # After the 5th access: AccessCnt <- NetAggCnt (5, nothing evicted),
+        # AggPromotedCnt <- 0, threshold back to max.
+        assert policy.access_cnt == policy.net_agg_cnt == 5
+        assert policy.agg_promoted_cnt == 0
+        assert policy.curr_threshold == 7
+
+    def test_reset_epoch_with_evictions_uses_live_sum(self):
+        policy = make_policy(max_threshold=7, reset_epoch=4)
+        keep, gone = entry(0), entry(1)
+        policy.update(keep)
+        policy.update(gone)
+        policy.adjust_cnt(gone)  # evicted: NetAggCnt drops to 1
+        policy.update(keep)
+        policy.update(keep)  # 4th access triggers the epoch reset
+        assert policy.access_cnt == 3  # NetAggCnt = keep's counter only
+
+    def test_hand_traced_sequence(self):
+        """Full trace with max_threshold=2, epoch large."""
+        policy = make_policy(max_threshold=2, reset_epoch=1_000)
+        a, b = entry(0), entry(1)
+        # access a: cnt=1, no promo, ratio 0 -> lw branch, thr stays 2 (max)
+        assert policy.update(a) is False
+        assert (policy.curr_threshold, policy.agg_promoted_cnt) == (2, 0)
+        # access a: cnt=2 == thr -> promote, AggPromoted=2, ratio=1.0 >= hi
+        # -> thr 2 > 1 and promoteFlag -> thr=1
+        assert policy.update(a) is True
+        assert policy.curr_threshold == 1
+        assert policy.agg_promoted_cnt == 2
+        # access b: cnt=1 == thr(1) -> promote, AggPromoted=3, ratio=1.0
+        # -> thr stays 1 (cannot go below 1)
+        assert policy.update(b) is True
+        assert policy.curr_threshold == 1
+
+
+class TestFixedPolicy:
+    def test_promotes_at_threshold(self):
+        policy = FixedPromotionPolicy(threshold=2)
+        page = entry()
+        assert not policy.update(page)
+        assert policy.update(page)
+
+    def test_threshold_one_promotes_immediately(self):
+        policy = FixedPromotionPolicy(threshold=1)
+        assert policy.update(entry())
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPromotionPolicy(0)
+
+    def test_adjust_resets_counter(self):
+        policy = FixedPromotionPolicy(threshold=5)
+        page = entry()
+        policy.update(page)
+        policy.adjust_cnt(page)
+        assert page.page_cnt == 0
+
+
+class TestPromotionManager:
+    def test_candidates_queued_and_drained(self):
+        manager = PromotionManager(PromotionConfig(max_threshold=1))
+        manager.update(entry(7))
+        assert manager.take_candidates() == [7]
+        assert manager.take_candidates() == []
+
+    def test_duplicate_candidates_deduped(self):
+        manager = PromotionManager(policy=FixedPromotionPolicy(1))
+        page = entry(3)
+        manager.update(page)
+        page.page_cnt = 0  # as if re-inserted
+        manager.update(page)
+        assert manager.take_candidates() == [3]
+
+    def test_order_preserved(self):
+        manager = PromotionManager(policy=FixedPromotionPolicy(1))
+        manager.update(entry(5))
+        manager.update(entry(2))
+        assert manager.take_candidates() == [5, 2]
+
+    def test_curr_threshold_exposed(self):
+        manager = PromotionManager(PromotionConfig(max_threshold=6))
+        assert manager.curr_threshold == 6

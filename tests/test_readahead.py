@@ -1,0 +1,83 @@
+"""Tests for the paging baselines' swap readahead."""
+
+import numpy as np
+import pytest
+
+from repro import UnifiedMMap, small_config
+from repro.workloads.synthetic import sequential_access
+
+
+def make_system(readahead=4, dram_pages=16):
+    config = small_config()
+    config.geometry.dram_pages = dram_pages
+    config.readahead_pages = readahead
+    return UnifiedMMap(config.validate())
+
+
+def test_disabled_by_default():
+    config = small_config()
+    assert config.readahead_pages == 0
+
+
+def test_negative_rejected():
+    config = small_config()
+    config.readahead_pages = -1
+    with pytest.raises(ValueError):
+        config.validate()
+
+
+def test_fault_pulls_in_following_pages():
+    system = make_system(readahead=4)
+    region = system.mmap(8)
+    system.load(region.addr(0), 8)  # fault on page 0
+    assert system.page_faults == 1
+    # Pages 1-4 came along for free: no further faults.
+    for page in range(1, 5):
+        result = system.load(region.page_addr(page, 0), 8)
+        assert not result.fault
+    # Page 5 still faults.
+    assert system.load(region.page_addr(5, 0), 8).fault
+
+
+def test_readahead_stops_at_dram_limit():
+    system = make_system(readahead=8, dram_pages=4)
+    region = system.mmap(16)
+    system.load(region.addr(0), 8)
+    assert system.dram.allocated_frames <= system.dram.num_frames
+
+
+def test_readahead_stops_at_region_end():
+    system = make_system(readahead=8)
+    region = system.mmap(3)
+    system.load(region.page_addr(2, 0), 8)  # last page: nothing beyond
+    assert system.page_faults == 1
+
+
+def test_readahead_preserves_data():
+    system = make_system(readahead=4)
+    region = system.mmap(8)
+    # Write through the paging path, evict everything, then fault back in.
+    for page in range(8):
+        system.store(region.page_addr(page, 8), 8, bytes([page + 1]) * 8)
+    for page in range(8):
+        assert system.load(region.page_addr(page, 8), 8).data == bytes([page + 1]) * 8
+
+
+def test_sequential_sweep_faster_with_readahead():
+    means = {}
+    for readahead in (0, 8):
+        system = make_system(readahead=readahead, dram_pages=16)
+        region = system.mmap(32)
+        stats = sequential_access(
+            system, region, 1_500, rng=np.random.default_rng(2)
+        )
+        means[readahead] = stats.mean
+    assert means[8] < means[0]
+
+
+def test_readahead_events_logged():
+    system = make_system(readahead=2)
+    system.enable_event_log()
+    region = system.mmap(4)
+    system.load(region.addr(0), 8)
+    assert system.events("readahead")

@@ -1,0 +1,165 @@
+"""Tests for the slab-allocated hash KV store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DRAMOnly, FlatFlash, UnifiedMMap, small_config
+from repro.apps.slab_kvstore import SIZE_CLASSES, SlabKVStore, StoreFullError
+
+
+def make_store(capacity=128, system_cls=FlatFlash, dram_pages=64):
+    config = small_config()
+    config.geometry.dram_pages = dram_pages
+    config.geometry.ssd_pages = 8_192
+    if system_cls is DRAMOnly:
+        config.geometry.dram_pages = 4_096
+    return SlabKVStore(system_cls(config.validate()), capacity=capacity)
+
+
+def test_set_get_round_trip():
+    store = make_store()
+    store.set(42, b"hello slab world")
+    assert store.get(42) == b"hello slab world"
+    assert 42 in store
+    assert len(store) == 1
+
+
+def test_missing_key_returns_none():
+    store = make_store()
+    assert store.get(7) is None
+    assert 7 not in store
+
+
+def test_key_zero_works():
+    store = make_store()
+    store.set(0, b"zero")
+    assert store.get(0) == b"zero"
+
+
+def test_empty_value():
+    store = make_store()
+    store.set(1, b"")
+    assert store.get(1) == b""
+
+
+def test_update_replaces_and_frees_old_slot():
+    store = make_store()
+    store.set(5, b"short")
+    store.set(5, b"x" * 200)  # moves to a bigger class
+    assert store.get(5) == b"x" * 200
+    assert len(store) == 1
+    # The 64-byte class slot was recycled.
+    assert store.slabs[0].live_slots == 0
+
+
+def test_size_classes_chosen_by_length():
+    store = make_store()
+    store.set(1, b"a" * 64)
+    store.set(2, b"b" * 65)
+    assert store.slabs[0].live_slots == 1
+    assert store.slabs[1].live_slots == 1
+
+
+def test_oversized_value_rejected():
+    store = make_store()
+    with pytest.raises(ValueError):
+        store.set(1, b"z" * (SIZE_CLASSES[-1] + 1))
+
+
+def test_delete_and_reuse():
+    store = make_store()
+    store.set(9, b"temp")
+    assert store.delete(9)
+    assert store.get(9) is None
+    assert len(store) == 0
+    assert not store.delete(9)
+
+
+def test_delete_preserves_probe_chains():
+    store = make_store(capacity=64)
+    # Force collisions by filling many keys, then delete from the middle.
+    for key in range(40):
+        store.set(key, bytes([key]) * 8)
+    for key in range(0, 40, 3):
+        assert store.delete(key)
+    for key in range(40):
+        if key % 3 == 0:
+            assert store.get(key) is None
+        else:
+            assert store.get(key) == bytes([key]) * 8
+
+
+def test_capacity_enforced():
+    store = make_store(capacity=8)
+    for key in range(8):
+        store.set(key, b"v")
+    with pytest.raises(StoreFullError):
+        store.set(99, b"v")
+
+
+def test_slab_exhaustion():
+    store = make_store(capacity=128)
+    with pytest.raises(StoreFullError):
+        for key in range(200):
+            store.set(key, b"a" * 64)  # all in class 0, 128 slots
+
+
+def test_requires_tracked_data():
+    config = small_config(track_data=False)
+    with pytest.raises(ValueError):
+        SlabKVStore(FlatFlash(config), capacity=8)
+
+
+def test_accesses_charge_the_memory_system():
+    store = make_store()
+    before = store.system.clock.now
+    store.set(1, b"data")
+    store.get(1)
+    assert store.system.clock.now > before
+
+
+def test_works_on_every_system():
+    for system_cls in (FlatFlash, UnifiedMMap, DRAMOnly):
+        store = make_store(capacity=32, system_cls=system_cls)
+        for key in range(20):
+            store.set(key, bytes([key]) * (8 + key * 9 % 300))
+        for key in range(20):
+            assert store.get(key) == bytes([key]) * (8 + key * 9 % 300)
+
+
+def test_memory_footprint_reported():
+    store = make_store()
+    assert store.memory_bytes > 0
+    assert store.memory_bytes == store.index_region.size + sum(
+        slab.region.size for slab in store.slabs
+    )
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["set", "delete", "get"]),
+            st.integers(0, 60),
+            st.integers(0, 400),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_slab_store_behaves_like_a_dict(ops):
+    store = make_store(capacity=128)
+    model = {}
+    for op, key, length in ops:
+        value = bytes([key % 251 + 1]) * length if length else b""
+        if op == "set":
+            store.set(key, value)
+            model[key] = value
+        elif op == "delete":
+            assert store.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert store.get(key) == model.get(key)
+    assert len(store) == len(model)
+    for key, value in model.items():
+        assert store.get(key) == value

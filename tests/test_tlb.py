@@ -1,0 +1,80 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.host.tlb import TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=4, shootdown_cost_ns=2_700)
+    assert not tlb.lookup(1)
+    tlb.fill(1)
+    assert tlb.lookup(1)
+
+
+def test_capacity_eviction_is_lru():
+    tlb = TLB(entries=2, shootdown_cost_ns=0)
+    tlb.fill(1)
+    tlb.fill(2)
+    tlb.lookup(1)  # 1 most recent
+    tlb.fill(3)  # evicts 2
+    assert tlb.lookup(1)
+    assert not tlb.lookup(2)
+    assert tlb.lookup(3)
+
+
+def test_fill_existing_refreshes():
+    tlb = TLB(entries=2, shootdown_cost_ns=0)
+    tlb.fill(1)
+    tlb.fill(2)
+    tlb.fill(1)
+    tlb.fill(3)  # evicts 2, not 1
+    assert tlb.lookup(1)
+
+
+def test_invalidate_costs_shootdown():
+    tlb = TLB(entries=4, shootdown_cost_ns=2_700)
+    tlb.fill(1)
+    assert tlb.invalidate(1) == 2_700
+    assert not tlb.lookup(1)
+
+
+def test_invalidate_missing_still_charged():
+    tlb = TLB(entries=4, shootdown_cost_ns=100)
+    assert tlb.invalidate(9) == 100
+
+
+def test_batch_invalidate_single_interrupt():
+    tlb = TLB(entries=8, shootdown_cost_ns=2_700)
+    for vpn in range(4):
+        tlb.fill(vpn)
+    cost = tlb.batch_invalidate([0, 1, 2, 3])
+    assert cost == 2_700  # one interrupt for the whole batch
+    assert len(tlb) == 0
+
+
+def test_batch_invalidate_empty_is_free():
+    tlb = TLB(entries=4, shootdown_cost_ns=2_700)
+    assert tlb.batch_invalidate([]) == 0
+
+
+def test_hit_ratio():
+    tlb = TLB(entries=4, shootdown_cost_ns=0)
+    tlb.fill(1)
+    tlb.lookup(1)
+    tlb.lookup(2)
+    assert tlb.hit_ratio == pytest.approx(0.5)
+
+
+def test_shootdown_counter():
+    tlb = TLB(entries=4, shootdown_cost_ns=0)
+    tlb.invalidate(1)
+    tlb.invalidate(2)
+    assert tlb.stats.counters()["tlb.shootdowns"] == 2
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ValueError):
+        TLB(0, 100)
+    with pytest.raises(ValueError):
+        TLB(4, -1)

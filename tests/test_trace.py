@@ -1,0 +1,109 @@
+"""Tests for trace recording, persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro import DRAMOnly, FlatFlash, UnifiedMMap, small_config
+from repro.workloads.trace import OP_LOAD, Trace, TraceRecorder, synthetic_trace
+
+
+def test_append_and_len():
+    trace = Trace()
+    trace.append_load(0, 64)
+    trace.append_store(64, 8)
+    assert len(trace) == 2
+    assert trace.read_ratio == 0.5
+
+
+def test_footprint():
+    trace = Trace()
+    trace.append_load(100, 28)
+    assert trace.footprint_bytes == 128
+    assert Trace().footprint_bytes == 0
+
+
+def test_invalid_ops_rejected():
+    trace = Trace()
+    with pytest.raises(ValueError):
+        trace.append_load(-1, 8)
+    with pytest.raises(ValueError):
+        trace.append_store(0, 0)
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = synthetic_trace(50, 4_096, seed=2)
+    path = str(tmp_path / "trace.npz")
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert list(loaded) == list(trace)
+
+
+def test_load_malformed_rejected(tmp_path):
+    path = str(tmp_path / "bad.npz")
+    np.savez_compressed(path, ops=np.zeros((3, 2), dtype=np.int64))
+    with pytest.raises(ValueError):
+        Trace.load(path)
+
+
+def test_replay_returns_stats():
+    trace = synthetic_trace(100, 8 * 4_096, seed=3)
+    system = FlatFlash(small_config(track_data=False))
+    stats = trace.replay(system)
+    assert stats.count == 100
+
+
+def test_replay_maps_region_for_footprint():
+    trace = Trace([(OP_LOAD, 5 * 4_096, 64)])
+    system = FlatFlash(small_config(track_data=False))
+    trace.replay(system)
+    assert system.regions[0].num_pages == 6
+
+
+def test_replay_region_too_small_rejected():
+    trace = Trace([(OP_LOAD, 2 * 4_096, 64)])
+    system = FlatFlash(small_config(track_data=False))
+    region = system.mmap(1)
+    with pytest.raises(ValueError):
+        trace.replay(system, region)
+
+
+def test_same_trace_fair_comparison():
+    trace = synthetic_trace(300, 16 * 4_096, read_ratio=0.9, seed=4)
+    means = {}
+    for cls in (FlatFlash, UnifiedMMap):
+        system = cls(small_config(track_data=False))
+        means[cls.name] = trace.replay(system).mean
+    assert means["FlatFlash"] != means["UnifiedMMap"]  # systems differ...
+    # ...but replaying twice on identical systems is exactly reproducible.
+    again = trace.replay(FlatFlash(small_config(track_data=False))).mean
+    assert again == means["FlatFlash"]
+
+
+def test_recorder_captures_and_forwards():
+    system = FlatFlash(small_config())
+    region = system.mmap(4)
+    recorder = TraceRecorder(system, region)
+    recorder.store(region.addr(64), 8, b"recorded")
+    result = recorder.load(region.addr(64), 8)
+    assert result.data == b"recorded"
+    assert len(recorder.trace) == 2
+    # The recorded trace replays on a fresh system.
+    replay_stats = recorder.trace.replay(DRAMOnly(small_config()))
+    assert replay_stats.count == 2
+
+
+def test_synthetic_trace_locality():
+    hot = synthetic_trace(2_000, 64 * 4_096, locality=0.9, seed=5)
+    cold = synthetic_trace(2_000, 64 * 4_096, locality=0.0, seed=5)
+    hot_footprint = len({offset for _op, offset, _s in hot})
+    cold_footprint = len({offset for _op, offset, _s in cold})
+    assert hot_footprint < cold_footprint
+
+
+def test_synthetic_trace_validation():
+    with pytest.raises(ValueError):
+        synthetic_trace(10, 4_096, read_ratio=2.0)
+    with pytest.raises(ValueError):
+        synthetic_trace(10, 4_096, locality=1.0)
+    with pytest.raises(ValueError):
+        synthetic_trace(10, 32)
