@@ -1,0 +1,38 @@
+"""simlint: domain-specific static analysis for the FlatFlash simulator.
+
+Usage::
+
+    python -m repro.analysis.simlint src/           # lint a tree
+    python -m repro.analysis.simlint --list-rules   # show the rule catalogue
+
+See ``docs/static_analysis.md`` for the rule catalogue and suppression
+syntax (``# simlint: disable=SL001``).
+"""
+
+from repro.analysis.simlint.engine import (
+    ALL_CODES,
+    SIM_SCOPE_DIRS,
+    FileContext,
+    Violation,
+    infer_sim_scope,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.simlint.rules import DES_COMMANDS, RULES, Rule
+
+__all__ = [
+    "ALL_CODES",
+    "DES_COMMANDS",
+    "FileContext",
+    "RULES",
+    "Rule",
+    "SIM_SCOPE_DIRS",
+    "Violation",
+    "infer_sim_scope",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,145 @@
+"""simlint engine: file walking, suppression parsing, rule dispatch.
+
+The engine is deliberately small — it parses each file once, computes the
+per-line suppression table (``# simlint: disable=SL001`` comments), decides
+whether the file is inside the *simulation scope* (the layers whose timing
+and state discipline the lint rules police), and hands the AST to every
+registered rule.  Rules live in :mod:`repro.analysis.simlint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Directories under ``repro/`` whose files are in the simulation scope:
+#: rules about wall-clock time, RNG seeding and ns-unit discipline apply
+#: only here (workloads/experiments may legitimately use other units).
+SIM_SCOPE_DIRS = {"sim", "ssd", "host", "core", "interconnect"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_, ]+))?"
+)
+
+#: Marker meaning "every rule suppressed on this line".
+ALL_CODES = "*"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    def __init__(self, path: str, source: str, sim_scope: Optional[bool] = None):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.suppressions = self._parse_suppressions(self.lines)
+        if sim_scope is None:
+            sim_scope = infer_sim_scope(path)
+        self.sim_scope = sim_scope
+
+    @staticmethod
+    def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+        table: Dict[int, Set[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                table[number] = {ALL_CODES}
+            else:
+                table[number] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+        return table
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return ALL_CODES in codes or code in codes
+
+
+def infer_sim_scope(path: str) -> bool:
+    """A file is in simulation scope when it lives under ``repro/<dir>/``
+    for one of the :data:`SIM_SCOPE_DIRS` layers."""
+    parts = Path(path).parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro" and parts[index + 1] in SIM_SCOPE_DIRS:
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    sim_scope: Optional[bool] = None,
+) -> List[Violation]:
+    """Lint one source string; returns violations sorted by location."""
+    from repro.analysis.simlint.rules import RULES
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        col = (error.offset or 1) - 1
+        return [Violation(path, line, col, "SL000", f"syntax error: {error.msg}")]
+
+    wanted = None if select is None else {code.upper() for code in select}
+    context = FileContext(path, source, sim_scope=sim_scope)
+    violations: List[Violation] = []
+    for rule in RULES:
+        if wanted is not None and rule.code not in wanted:
+            continue
+        if rule.sim_scope_only and not context.sim_scope:
+            continue
+        for violation in rule.check(tree, context):
+            if not context.suppressed(violation.line, violation.code):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return violations
+
+
+def lint_file(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), select=select)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str], select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Lint every Python file under the given paths."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, select=select))
+    return violations
