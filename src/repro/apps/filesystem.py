@@ -55,9 +55,10 @@ class FSRunResult:
 
     @property
     def mean_op_ns(self) -> float:
+        """Mean per-op latency (reporting only; never fed back into timing)."""
         if self.operations == 0:
             return 0.0
-        return self.elapsed_ns / self.operations
+        return self.elapsed_ns / self.operations  # simlint: disable=SL003
 
     @property
     def ops_per_sec(self) -> float:
