@@ -6,7 +6,6 @@ GC, checking byte-exact contents against a dict model.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import small_config

@@ -1,6 +1,5 @@
 """Tests for the FlatFlash unified hierarchy: promotion, eviction, PLB, remap."""
 
-import pytest
 
 from repro import FlatFlash, small_config
 from repro.host.page_table import Domain

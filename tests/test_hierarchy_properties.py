@@ -7,7 +7,6 @@ happening underneath.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import DRAMOnly, FlatFlash, TraditionalStack, UnifiedMMap, small_config

@@ -46,7 +46,6 @@ def test_sequential_sweep_triggers_prefetch():
 def test_random_pattern_never_prefetches():
     system = make_system(prefetch=2)
     region = system.mmap(32)
-    rng = np.random.default_rng(3)
     # Shuffled page order with no ascending runs of length >= 2.
     pages = [5, 1, 9, 3, 12, 7, 0, 10, 4, 8]
     for page in pages:

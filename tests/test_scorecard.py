@@ -1,6 +1,5 @@
 """Tests for the reproduction scorecard (verdict logic mocked-fast)."""
 
-import pytest
 
 from repro.experiments import scorecard
 
