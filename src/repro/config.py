@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.sim.sanitizers import SanitizerConfig
+
 
 @dataclass
 class LatencyConfig:
@@ -181,6 +183,10 @@ class FlatFlashConfig:
     geometry: GeometryConfig = field(default_factory=GeometryConfig)
     promotion: PromotionConfig = field(default_factory=PromotionConfig)
 
+    # Runtime invariant sanitizers (repro.sim.sanitizers).  Defaults follow
+    # the process-wide switch so the test suite can enable them globally.
+    sanitizers: SanitizerConfig = field(default_factory=SanitizerConfig.from_default)
+
     # Carry real page payloads through the hierarchy (tests/examples) or
     # run accounting-only (large performance sweeps).
     track_data: bool = True
@@ -206,6 +212,7 @@ class FlatFlashConfig:
         self.latency.validate()
         self.geometry.validate()
         self.promotion.validate()
+        self.sanitizers.validate()
         if self.readahead_pages < 0:
             raise ValueError(
                 f"readahead_pages must be >= 0, got {self.readahead_pages}"

@@ -91,6 +91,7 @@ class FlatFlash(MemorySystem):
             page_size=geometry.page_size,
             plb_entries=geometry.plb_entries,
             stats=self.stats,
+            persistence_sanitizer=self.ssd.persistence_sanitizer,
         )
         self.cpu_cache = CPUCache(line_size=geometry.cacheline_size, stats=self.stats)
         if promotion_manager is None:

@@ -24,6 +24,7 @@ from repro.config import FlatFlashConfig
 from repro.host.page_table import PageTable
 from repro.host.tlb import TLB
 from repro.sim.clock import SimClock
+from repro.sim.sanitizers import ClockSanitizer
 from repro.sim.stats import StatRegistry
 
 
@@ -98,7 +99,9 @@ class MemorySystem(abc.ABC):
     def __init__(self, config: FlatFlashConfig) -> None:
         config.validate()
         self.config = config
-        self.clock = SimClock()
+        self.clock = SimClock(
+            sanitizer=ClockSanitizer() if config.sanitizers.clock else None
+        )
         self.stats = StatRegistry()
         self.page_size = config.geometry.page_size
         self.page_table = PageTable(config.latency.page_table_walk_ns, stats=self.stats)

@@ -82,7 +82,13 @@ class PersistentRegion:
     def durable_store(self, offset: int, size: int, data: Optional[bytes] = None) -> int:
         """Store + flush + fence: one fully durable byte-granular update."""
         cost = self.persist_store(offset, size, data)
-        return cost + self.commit()
+        cost += self.commit()
+        sanitizer = self.system.ssd.persistence_sanitizer
+        if sanitizer is not None:
+            # The store is acknowledged durable here: no posted persist
+            # write may remain unfenced, or a crash would lose it.
+            sanitizer.ack_durable(f"durable_store(offset={offset}, size={size})")
+        return cost
 
     def atomic_store(self, offset: int, size: int) -> int:
         """A PCIe atomic against the region: durable on completion (non-posted)."""

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 from repro.host.plb import PLB
 from repro.interconnect.pcie import BarWindow
+from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
 
 #: Bit position used to prefix physical addresses with the Persist flag.
@@ -33,6 +34,7 @@ class HostBridge:
         page_size: int,
         plb_entries: int,
         stats: Optional[StatRegistry] = None,
+        persistence_sanitizer: Optional[PersistenceSanitizer] = None,
     ) -> None:
         if dram_bytes <= 0:
             raise ValueError(f"dram_bytes must be > 0, got {dram_bytes}")
@@ -46,6 +48,7 @@ class HostBridge:
         self.ssd_bar = ssd_bar
         self.page_size = page_size
         self.stats = stats if stats is not None else StatRegistry()
+        self.persistence_sanitizer = persistence_sanitizer
         self.plb = PLB(plb_entries, stats=self.stats)
         self._to_dram = self.stats.counter("bridge.requests_to_dram")
         self._to_ssd = self.stats.counter("bridge.requests_to_ssd")
@@ -80,8 +83,13 @@ class HostBridge:
         """
         phys_addr, persist = self.split_persist(tagged_addr)
         if phys_addr < self.dram_bytes:
+            frame = phys_addr // self.page_size
+            if persist and self.persistence_sanitizer is not None:
+                # Persist pages are pinned to the SSD (§3.5); a P-tagged
+                # request landing in volatile DRAM breaks durability.
+                self.persistence_sanitizer.on_persist_routed("dram", frame)
             self._to_dram.add()
-            return "dram", phys_addr // self.page_size, phys_addr % self.page_size, persist
+            return "dram", frame, phys_addr % self.page_size, persist
         if self.ssd_bar.contains(phys_addr):
             self._to_ssd.add()
             offset = self.ssd_bar.offset_of(phys_addr)

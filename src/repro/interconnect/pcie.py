@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import LatencyConfig
+from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
 
 
@@ -74,12 +75,17 @@ class PCIeLink:
         latency: LatencyConfig,
         cacheline_size: int = 64,
         stats: Optional[StatRegistry] = None,
+        persistence_sanitizer: Optional[PersistenceSanitizer] = None,
     ) -> None:
         if cacheline_size <= 0:
             raise ValueError(f"cacheline_size must be > 0, got {cacheline_size}")
         self.latency = latency
         self.cacheline_size = cacheline_size
         self.stats = stats if stats is not None else StatRegistry()
+        # Sanitizer hook: posted writes accumulate until a non-posted read
+        # orders them (the PCIe producer/consumer ordering rule the §3.5
+        # write-verify fence relies on).
+        self.persistence_sanitizer = persistence_sanitizer
         self._reads = self.stats.counter("pcie.mmio_reads")
         self._writes = self.stats.counter("pcie.mmio_writes")
         self._atomics = self.stats.counter("pcie.mmio_atomics")
@@ -97,6 +103,8 @@ class PCIeLink:
         lines = self._cachelines(size)
         self._reads.add(lines)
         self._bytes_from_device.add(size)
+        if self.persistence_sanitizer is not None:
+            self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
 
     def mmio_write_cost(self, size: int) -> int:
@@ -104,6 +112,8 @@ class PCIeLink:
         lines = self._cachelines(size)
         self._writes.add(lines)
         self._bytes_to_device.add(size)
+        if self.persistence_sanitizer is not None:
+            self.persistence_sanitizer.on_posted_tlp(lines)
         return lines * self.latency.mmio_write_cacheline_ns
 
     def mmio_atomic_cost(self, size: int) -> int:
@@ -112,12 +122,16 @@ class PCIeLink:
         self._atomics.add(1)
         self._bytes_to_device.add(size)
         self._bytes_from_device.add(size)
+        if self.persistence_sanitizer is not None:
+            self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
 
     def verify_read_cost(self) -> int:
         """Cost of the write-verify read flushing posted writes (§3.5)."""
         self._reads.add(1)
         self._bytes_from_device.add(self.cacheline_size)
+        if self.persistence_sanitizer is not None:
+            self.persistence_sanitizer.on_ordering_read()
         return self.latency.mmio_verify_read_ns
 
     def dma_to_host_cost(self, size: int) -> int:

@@ -8,6 +8,10 @@ one clock and advances it on every memory access; the discrete-event simulator
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.sim.sanitizers import ClockSanitizer
+
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
@@ -16,11 +20,16 @@ NS_PER_SEC = 1_000_000_000
 class SimClock:
     """Monotonically non-decreasing simulated time in nanoseconds."""
 
-    __slots__ = ("_now",)
+    __slots__ = ("_now", "_sanitizer")
 
-    def __init__(self, start_ns: int = 0) -> None:
+    def __init__(
+        self, start_ns: int = 0, sanitizer: Optional[ClockSanitizer] = None
+    ) -> None:
         if start_ns < 0:
             raise ValueError(f"clock cannot start at negative time: {start_ns}")
+        self._sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.on_reset(start_ns)
         self._now = int(start_ns)
 
     @property
@@ -29,13 +38,13 @@ class SimClock:
         return self._now
 
     @property
-    def now_us(self) -> float:
-        """Current simulated time in microseconds."""
+    def now_us(self) -> float:  # simlint: disable=SL004
+        """Current simulated time in microseconds (reporting only)."""
         return self._now / NS_PER_US
 
     @property
-    def now_sec(self) -> float:
-        """Current simulated time in seconds."""
+    def now_sec(self) -> float:  # simlint: disable=SL004
+        """Current simulated time in seconds (reporting only)."""
         return self._now / NS_PER_SEC
 
     def advance(self, delta_ns: int) -> int:
@@ -43,6 +52,8 @@ class SimClock:
 
         Negative deltas are rejected: simulated time never runs backwards.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.on_advance(self._now, delta_ns)
         delta = int(delta_ns)
         if delta < 0:
             raise ValueError(f"cannot advance clock by negative delta: {delta}")
@@ -51,6 +62,8 @@ class SimClock:
 
     def advance_to(self, timestamp_ns: int) -> int:
         """Move time forward to an absolute timestamp (no-op if in the past)."""
+        if self._sanitizer is not None:
+            self._sanitizer.on_advance_to(self._now, timestamp_ns)
         timestamp = int(timestamp_ns)
         if timestamp > self._now:
             self._now = timestamp
@@ -60,6 +73,8 @@ class SimClock:
         """Reset the clock, typically between experiment repetitions."""
         if start_ns < 0:
             raise ValueError(f"clock cannot reset to negative time: {start_ns}")
+        if self._sanitizer is not None:
+            self._sanitizer.on_reset(start_ns)
         self._now = int(start_ns)
 
     def __repr__(self) -> str:

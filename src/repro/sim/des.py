@@ -32,6 +32,8 @@ import heapq
 from collections import deque
 from typing import Deque, Dict, Generator, List, Optional, Tuple, Union
 
+from repro.sim.sanitizers import LockSanitizer, default_enabled
+
 
 class Delay:
     """Yield command: advance the process's time by ``ns`` nanoseconds."""
@@ -155,13 +157,21 @@ class Simulator:
     Determinism: events at equal timestamps run in (time, sequence) order,
     and lock hand-off is FIFO, so a given set of processes always produces
     the same schedule.
+
+    ``sanitizer`` enables shadow lock-discipline checks (bad releases,
+    locks held at process exit, deadlock detection at block time).  When
+    left ``None`` it follows the process-wide sanitizer default, which
+    the test suite switches on.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitizer: Optional[LockSanitizer] = None) -> None:
         self._heap: List[Tuple[int, int, int]] = []  # (time, seq, pid)
         self._seq = 0
         self._procs: Dict[int, _ProcState] = {}
         self._blocked: Dict[int, Union[Lock, Semaphore]] = {}
+        if sanitizer is None and default_enabled():
+            sanitizer = LockSanitizer()
+        self._sanitizer = sanitizer
         self.now = 0
 
     def spawn(self, process: Process, start_ns: int = 0) -> int:
@@ -178,11 +188,14 @@ class Simulator:
     def _step_process(self, pid: int) -> None:
         """Advance one process until it blocks, delays, or finishes."""
         state = self._procs[pid]
+        sanitizer = self._sanitizer
         while True:
             try:
                 command = next(state.generator)
             except StopIteration:
                 state.finished_at = self.now
+                if sanitizer is not None:
+                    sanitizer.on_finished(pid)
                 return
             if isinstance(command, Delay):
                 self._schedule(self.now + command.ns, pid)
@@ -192,13 +205,19 @@ class Simulator:
                 lock.acquisitions += 1
                 if lock.holder is None:
                     lock.holder = pid
+                    if sanitizer is not None:
+                        sanitizer.on_acquired(pid, lock)
                     continue  # acquired immediately; keep running
                 lock.contended_acquisitions += 1
                 lock.waiters.append(pid)
                 self._blocked[pid] = lock
+                if sanitizer is not None:
+                    sanitizer.on_blocked(pid, lock)
                 return
             if isinstance(command, Release):
                 lock = command.lock
+                if sanitizer is not None:
+                    sanitizer.on_released(pid, lock)
                 if lock.holder != pid:
                     raise RuntimeError(
                         f"process {pid} released {lock.name!r} held by {lock.holder}"
@@ -208,6 +227,8 @@ class Simulator:
                     lock.holder = next_pid
                     del self._blocked[next_pid]
                     self._schedule(self.now, next_pid)
+                    if sanitizer is not None:
+                        sanitizer.on_acquired(next_pid, lock)
                 else:
                     lock.holder = None
                 continue  # keep running after a release
@@ -216,13 +237,19 @@ class Simulator:
                 semaphore.acquisitions += 1
                 if len(semaphore.holders) < semaphore.capacity:
                     semaphore.holders.add(pid)
+                    if sanitizer is not None:
+                        sanitizer.on_slot_acquired(pid, semaphore)
                     continue
                 semaphore.contended_acquisitions += 1
                 semaphore.waiters.append(pid)
                 self._blocked[pid] = semaphore
+                if sanitizer is not None:
+                    sanitizer.on_blocked(pid, semaphore)
                 return
             if isinstance(command, ReleaseSlot):
                 semaphore = command.semaphore
+                if sanitizer is not None:
+                    sanitizer.on_slot_released(pid, semaphore)
                 if pid not in semaphore.holders:
                     raise RuntimeError(
                         f"process {pid} released {semaphore.name!r} without a slot"
@@ -233,6 +260,8 @@ class Simulator:
                     semaphore.holders.add(next_pid)
                     del self._blocked[next_pid]
                     self._schedule(self.now, next_pid)
+                    if sanitizer is not None:
+                        sanitizer.on_slot_acquired(next_pid, semaphore)
                 continue
             raise TypeError(f"process {pid} yielded unknown command: {command!r}")
 

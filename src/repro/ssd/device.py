@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.config import FlatFlashConfig
 from repro.interconnect.pcie import BarWindow, PCIeLink
+from repro.sim.sanitizers import FlashSanitizer, PersistenceSanitizer
 from repro.sim.stats import StatRegistry
 from repro.ssd.flash import FlashArray
 from repro.ssd.ftl import PageFTL
@@ -85,6 +86,12 @@ class ByteAddressableSSD:
 
         # Flash sized so the exported capacity fits under over-provisioning
         # with the FTL's two spare blocks.
+        # Runtime invariant sanitizers (opt-in via config.sanitizers).
+        self.flash_sanitizer = FlashSanitizer() if config.sanitizers.flash else None
+        self.persistence_sanitizer = (
+            PersistenceSanitizer() if config.sanitizers.persistence else None
+        )
+
         ppb = geometry.flash_pages_per_block
         exported_blocks = -(-geometry.ssd_pages // ppb)
         spare = max(2, int(exported_blocks * geometry.flash_overprovision) + 1)
@@ -97,6 +104,7 @@ class ByteAddressableSSD:
             track_data=config.track_data,
             num_channels=geometry.flash_channels,
             stats=self.stats,
+            sanitizer=self.flash_sanitizer,
         )
         self.ftl = PageFTL(self.flash, overprovision=0.0, stats=self.stats)
         # Trim the export to exactly the configured capacity.
@@ -110,7 +118,12 @@ class ByteAddressableSSD:
             stats=self.stats,
         )
         self.gc = GarbageCollector(self.flash, self.ftl, self.cache, stats=self.stats)
-        self.pcie = PCIeLink(latency, geometry.cacheline_size, stats=self.stats)
+        self.pcie = PCIeLink(
+            latency,
+            geometry.cacheline_size,
+            stats=self.stats,
+            persistence_sanitizer=self.persistence_sanitizer,
+        )
 
         # BAR spans the raw flash in host-merged mode (PTEs hold ppns) or
         # the logical export when the FTL stays in the device.
@@ -263,6 +276,8 @@ class ByteAddressableSSD:
             if entry.data is not None:
                 old = bytes(entry.data[offset : offset + size])
             self._posted_log.append((lpn, offset, old))
+            if self.persistence_sanitizer is not None:
+                self.persistence_sanitizer.on_persist_posted(lpn, offset)
         entry.dirty = True
         if entry.data is not None and data is not None:
             entry.data[offset : offset + size] = data
@@ -316,7 +331,10 @@ class ByteAddressableSSD:
         domain and will survive a crash.
         """
         self._posted_log.clear()
-        return self.pcie.verify_read_cost()
+        cost = self.pcie.verify_read_cost()
+        if self.persistence_sanitizer is not None:
+            self.persistence_sanitizer.on_fence()
+        return cost
 
     # ------------------------------------------------------------------ #
     # Block / page interface (DMA)
@@ -412,6 +430,8 @@ class ByteAddressableSSD:
                     page[offset : offset + len(old)] = old
                     self.ftl.write(lpn, bytes(page))
         self._posted_log.clear()
+        if self.persistence_sanitizer is not None:
+            self.persistence_sanitizer.on_crash()
         if self.config.battery_backed:
             self.gc.flush_dirty()
         self.cache.clear()

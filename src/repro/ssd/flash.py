@@ -16,6 +16,7 @@ import enum
 from typing import Dict, List, Optional
 
 from repro.config import LatencyConfig
+from repro.sim.sanitizers import FlashSanitizer
 from repro.sim.stats import StatRegistry
 
 
@@ -61,6 +62,7 @@ class FlashArray:
         track_data: bool = True,
         num_channels: int = 8,
         stats: Optional[StatRegistry] = None,
+        sanitizer: Optional[FlashSanitizer] = None,
     ) -> None:
         if num_blocks <= 0 or pages_per_block <= 0 or page_size <= 0:
             raise ValueError(
@@ -76,6 +78,9 @@ class FlashArray:
         self.latency = latency
         self.track_data = track_data
         self.blocks = [FlashBlock(i, pages_per_block) for i in range(num_blocks)]
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(num_blocks, pages_per_block)
         self._data: Dict[int, bytes] = {}
         self.stats = stats if stats is not None else StatRegistry()
         self._reads = self.stats.counter("flash.page_reads")
@@ -119,6 +124,8 @@ class FlashArray:
         in the FTL and raises."""
         block = self.block_of(ppn)
         offset = ppn % self.pages_per_block
+        if self.sanitizer is not None:
+            self.sanitizer.on_program(ppn)
         state = block.states[offset]
         if state is not FlashPageState.ERASED:
             raise RuntimeError(f"program to non-erased page ppn={ppn} ({state.value})")
@@ -136,6 +143,8 @@ class FlashArray:
         """Mark a programmed page invalid (out-of-place overwrite)."""
         block = self.block_of(ppn)
         offset = ppn % self.pages_per_block
+        if self.sanitizer is not None:
+            self.sanitizer.on_invalidate(ppn)
         if block.states[offset] is not FlashPageState.PROGRAMMED:
             raise RuntimeError(f"invalidate of non-programmed page ppn={ppn}")
         block.states[offset] = FlashPageState.INVALID
@@ -148,6 +157,8 @@ class FlashArray:
         if not 0 <= block_index < self.num_blocks:
             raise ValueError(f"block {block_index} out of range [0, {self.num_blocks})")
         block = self.blocks[block_index]
+        if self.sanitizer is not None:
+            self.sanitizer.on_erase(block_index)
         if block.valid_pages:
             raise RuntimeError(
                 f"erase of block {block_index} with {block.valid_pages} valid pages"

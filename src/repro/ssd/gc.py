@@ -94,6 +94,10 @@ class GarbageCollector:
             if limit is not None and count >= limit:
                 break
             cost += self.flush_entry(entry)
+        if self.flash.sanitizer is not None:
+            self.flash.sanitizer.check_accounting(
+                len(self.ftl.mapping), context="dirty-page destage"
+            )
         return cost
 
     def maybe_flush(self) -> int:
@@ -106,6 +110,12 @@ class GarbageCollector:
         """Run one foreground-independent GC pass; returns ns spent."""
         cost = self.ftl.collect_garbage()
         self._background_ns.add(cost)
+        if self.flash.sanitizer is not None:
+            # A GC cycle must neither leak valid pages (relocated but not
+            # invalidated) nor leave dangling mappings.
+            self.flash.sanitizer.check_accounting(
+                len(self.ftl.mapping), context="GC collect"
+            )
         return cost
 
     @property
