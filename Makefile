@@ -1,12 +1,22 @@
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples all clean
+.PHONY: install test lint bench experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# simlint is in-tree and always runs; ruff runs when installed (CI installs
+# it via the dev extras, bare environments may not have it).
+lint:
+	$(PYTHON) -m repro.analysis.simlint src/
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -20,7 +30,7 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
-all: test bench experiments
+all: lint test bench experiments
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
