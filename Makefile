@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint bench experiments examples all clean
+.PHONY: install test lint race bench experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -8,15 +8,21 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# simlint is in-tree and always runs; ruff runs when installed (CI installs
-# it via the dev extras, bare environments may not have it).
+# simlint and simrace are in-tree and always run; ruff runs when installed
+# (CI installs it via the dev extras, bare environments may not have it).
 lint:
 	$(PYTHON) -m repro.analysis.simlint src/
+	$(PYTHON) -m repro.analysis.simrace src/
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/; \
 	else \
 		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
 	fi
+
+# Dynamic half of simrace: perturb DES schedules on the tiny OLTP config
+# and fail on any undocumented schedule-dependent stat.
+race:
+	$(PYTHON) -m repro race --seeds 5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig9            # one table/figure
     python -m repro run ablations
     python -m repro all [output.md]     # everything -> EXPERIMENTS.md
+    python -m repro race [--seeds N]    # schedule-perturbation check
 """
 
 from __future__ import annotations
@@ -80,6 +81,17 @@ def main(argv=None) -> int:
         "all", help="run everything and write EXPERIMENTS.md"
     )
     all_parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    from repro.experiments.race_check import positive_int
+
+    race_parser = subparsers.add_parser(
+        "race", help="perturb DES schedules and diff stats (simrace dynamic layer)"
+    )
+    race_parser.add_argument(
+        "--seeds",
+        type=positive_int,
+        default=5,
+        help="perturbed schedules per system/scheme (default 5)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -89,6 +101,10 @@ def main(argv=None) -> int:
     if args.command == "run":
         EXPERIMENTS[args.experiment]()
         return 0
+    if args.command == "race":
+        from repro.experiments.race_check import run_race_check
+
+        return run_race_check(seeds=args.seeds)
     if args.command == "all":
         from repro.experiments.run_all import generate
 

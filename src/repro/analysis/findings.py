@@ -1,0 +1,95 @@
+"""Shared findings plumbing for the repo's static-analysis tools.
+
+Both analysis passes — :mod:`repro.analysis.simlint` (single-function
+syntax-level rules) and :mod:`repro.analysis.simrace` (interprocedural
+concurrency rules) — report findings through one schema, so CI
+annotations and downstream tooling can consume either tool's output
+without caring which produced it:
+
+* :class:`Violation` — one finding at a source location, with a stable
+  rule code (``SL###`` / ``SR###``).
+* :func:`findings_json` — the shared ``--json`` serialization
+  (``{"tool", "schema_version", "count", "files_checked", "findings"}``).
+* :func:`parse_suppressions` — per-line ``# <tool>: disable=CODE``
+  comment parsing; both tools use identical suppression syntax.
+* :func:`iter_python_files` — file/directory expansion for the CLIs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Version of the shared findings JSON schema; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+#: Marker meaning "every rule suppressed on this line".
+ALL_CODES = "*"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def findings_json(
+    tool: str,
+    violations: Sequence[Violation],
+    files_checked: Optional[int] = None,
+) -> str:
+    """Serialize findings to the shared JSON schema (one object, indented)."""
+    payload: Dict[str, object] = {
+        "tool": tool,
+        "schema_version": SCHEMA_VERSION,
+        "count": len(violations),
+        "findings": [asdict(violation) for violation in violations],
+    }
+    if files_checked is not None:
+        payload["files_checked"] = files_checked
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _suppress_re(tool: str) -> "re.Pattern[str]":
+    return re.compile(
+        rf"#\s*{re.escape(tool)}:\s*disable(?:=(?P<codes>[A-Za-z0-9_, ]+))?"
+    )
+
+
+def parse_suppressions(lines: Sequence[str], tool: str) -> Dict[int, Set[str]]:
+    """Per-line suppression table for ``# <tool>: disable[=C1,C2]`` comments."""
+    pattern = _suppress_re(tool)
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = pattern.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[number] = {ALL_CODES}
+        else:
+            table[number] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return table
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out

@@ -10,36 +10,20 @@ registered rule.  Rules live in :mod:`repro.analysis.simlint.rules`.
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.findings import (
+    ALL_CODES,
+    Violation,
+    iter_python_files as _iter_python_files,
+    parse_suppressions,
+)
 
 #: Directories under ``repro/`` whose files are in the simulation scope:
 #: rules about wall-clock time, RNG seeding and ns-unit discipline apply
 #: only here (workloads/experiments may legitimately use other units).
 SIM_SCOPE_DIRS = {"sim", "ssd", "host", "core", "interconnect"}
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_, ]+))?"
-)
-
-#: Marker meaning "every rule suppressed on this line".
-ALL_CODES = "*"
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
 class FileContext:
@@ -56,17 +40,7 @@ class FileContext:
 
     @staticmethod
     def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
-        table: Dict[int, Set[str]] = {}
-        for number, text in enumerate(lines, start=1):
-            match = _SUPPRESS_RE.search(text)
-            if match is None:
-                continue
-            codes = match.group("codes")
-            if codes is None:
-                table[number] = {ALL_CODES}
-            else:
-                table[number] = {c.strip().upper() for c in codes.split(",") if c.strip()}
-        return table
+        return parse_suppressions(lines, "simlint")
 
     def suppressed(self, line: int, code: str) -> bool:
         codes = self.suppressions.get(line)
@@ -125,14 +99,7 @@ def lint_file(
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
     """Expand files/directories into a sorted list of ``*.py`` files."""
-    out: List[Path] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            out.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            out.append(path)
-    return out
+    return _iter_python_files(paths)
 
 
 def lint_paths(

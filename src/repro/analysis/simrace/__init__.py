@@ -1,0 +1,34 @@
+"""simrace: interprocedural concurrency analysis for DES process code.
+
+The static half of the simrace pass (the dynamic half — seeded schedule
+perturbation and the access recorder — lives in :mod:`repro.sim.race`).
+It discovers DES process generators, traces their shared-state accesses
+and locksets through the in-module call graph, and enforces the SR rule
+catalogue (see ``docs/static_analysis.md``):
+
+* SR001 — read-modify-write straddling a yield without a held lock
+* SR002 — lock/slot possibly still held when the process exits
+* SR003 — inconsistent lock acquisition order between processes
+* SR004 — unlocked write to an object captured by multiple processes
+
+Run it with ``python -m repro.analysis.simrace src/``; suppress a
+finding with a ``# simrace: disable=SR001`` comment on the flagged line.
+"""
+
+from repro.analysis.findings import Violation
+from repro.analysis.simrace.engine import (
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.simrace.rules import RULES
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]

@@ -1,6 +1,7 @@
-"""Command-line entry point: ``python -m repro.analysis.simlint <paths>``.
+"""Command-line entry point: ``python -m repro.analysis.simrace <paths>``.
 
-Exits 1 when any violation is found, 0 on a clean tree.
+Exits 1 when any violation is found, 0 on a clean tree.  ``--json``
+emits the shared findings schema (see :mod:`repro.analysis.findings`).
 """
 
 from __future__ import annotations
@@ -10,33 +11,32 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.findings import Violation, findings_json
-from repro.analysis.simlint.engine import iter_python_files, lint_file
-from repro.analysis.simlint.rules import RULES
+from repro.analysis.simrace.engine import analyze_file, iter_python_files
+from repro.analysis.simrace.rules import RULES
 
 
 def _list_rules() -> str:
-    lines = ["simlint rule catalogue:", ""]
+    lines = ["simrace rule catalogue:", ""]
     for rule in RULES:
-        scope = "sim scope only" if rule.sim_scope_only else "all files"
-        lines.append(f"  {rule.code}  {rule.title}  [{scope}]")
+        lines.append(f"  {rule.code}  {rule.title}")
         lines.append(f"         {rule.explanation}")
     return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis.simlint",
-        description="Domain-specific static analysis for the FlatFlash simulator.",
+        prog="python -m repro.analysis.simrace",
+        description="Interprocedural concurrency analysis for DES process code.",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (directories are walked for *.py)",
+        help="files or directories to analyze (directories are walked for *.py)",
     )
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run (default: all), e.g. SL001,SL003",
+        help="comma-separated rule codes to run (default: all), e.g. SR001,SR003",
     )
     parser.add_argument(
         "--list-rules",
@@ -54,38 +54,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_rules())
         return 0
     if not args.paths:
-        parser.error("no paths given (try: python -m repro.analysis.simlint src/)")
+        parser.error("no paths given (try: python -m repro.analysis.simrace src/)")
 
     select = None
     if args.select:
         select = [code.strip().upper() for code in args.select.split(",") if code.strip()]
-        known = {rule.code for rule in RULES} | {"SL000"}
+        known = {rule.code for rule in RULES} | {"SR000"}
         unknown = sorted(set(select) - known)
         if unknown:
             parser.error(
-                f"unknown rule code(s): {', '.join(unknown)} "
-                f"(see --list-rules)"
+                f"unknown rule code(s): {', '.join(unknown)} (see --list-rules)"
             )
 
     files = iter_python_files(args.paths)
     if not files:
-        print("simlint: no Python files found under the given paths", file=sys.stderr)
+        print("simrace: no Python files found under the given paths", file=sys.stderr)
         return 0
 
     violations: List[Violation] = []
     for path in files:
-        violations.extend(lint_file(path, select=select))
+        violations.extend(analyze_file(path, select=select))
 
     if args.json:
-        print(findings_json("simlint", violations, files_checked=len(files)))
+        print(findings_json("simrace", violations, files_checked=len(files)))
         return 1 if violations else 0
 
     for violation in violations:
         print(violation.format())
     if violations:
-        print(f"\nsimlint: {len(violations)} violation(s) in {len(files)} file(s)")
+        print(f"\nsimrace: {len(violations)} violation(s) in {len(files)} file(s)")
         return 1
-    print(f"simlint: {len(files)} file(s) clean")
+    print(f"simrace: {len(files)} file(s) clean")
     return 0
 
 

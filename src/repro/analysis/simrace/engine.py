@@ -1,0 +1,106 @@
+"""simrace engine: file walking, suppression parsing, rule dispatch.
+
+Mirrors :mod:`repro.analysis.simlint.engine`, but the rules are
+interprocedural: each file is parsed once into a
+:class:`~repro.analysis.simrace.model.ModuleModel` (scope tree, process
+generators, spawn sites) and the process traces are computed once and
+shared by every rule.  Suppression comments use ``# simrace:
+disable=SR001`` — same syntax as simlint, different tool prefix.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import (
+    ALL_CODES,
+    Violation,
+    iter_python_files as _iter_python_files,
+    parse_suppressions,
+)
+from repro.analysis.simrace.model import ModuleModel
+
+
+class FileContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.suppressions = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+        return parse_suppressions(lines, "simrace")
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return ALL_CODES in codes or code in codes
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Analyze one source string; returns violations sorted by location."""
+    from repro.analysis.simrace.rules import RULES, AnalysisContext
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        col = (error.offset or 1) - 1
+        return [Violation(path, line, col, "SR000", f"syntax error: {error.msg}")]
+
+    wanted = None if select is None else {code.upper() for code in select}
+    context = FileContext(path, source)
+    model = ModuleModel(tree)
+    if not model.process_generators():
+        return []
+    actx = AnalysisContext(model, model.traces(), context)
+
+    violations: List[Violation] = []
+    seen: Set[Tuple[int, int, str]] = set()
+    for rule in RULES:
+        if wanted is not None and rule.code not in wanted:
+            continue
+        for violation in rule.check(actx):
+            if context.suppressed(violation.line, violation.code):
+                continue
+            # One process generator may be traced once per spawn binding;
+            # report each (location, rule) only once.
+            key = (violation.line, violation.col, violation.code)
+            if key in seen:
+                continue
+            seen.add(key)
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return violations
+
+
+def analyze_file(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(source, path=str(path), select=select)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    return _iter_python_files(paths)
+
+
+def analyze_paths(
+    paths: Iterable[str], select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Analyze every Python file under the given paths."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(analyze_file(path, select=select))
+    return violations

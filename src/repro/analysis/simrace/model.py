@@ -1,0 +1,763 @@
+"""simrace module model: scopes, process generators, spawn sites, traces.
+
+The static layer of simrace reasons about one module at a time, but
+*interprocedurally* within it:
+
+* :class:`ModuleModel` builds a lexical scope tree of every function and
+  method, discovers DES **process generators** (functions that yield
+  ``Delay``/``Acquire``/``Release``/``AcquireSlot``/``ReleaseSlot``
+  commands, directly or through ``yield from`` helpers), and records
+  every ``*.spawn(generator(...))`` site with its argument bindings.
+* :func:`ModuleModel.trace` runs an abstract interpretation of one
+  process generator — inlining ``yield from`` helpers and plain calls to
+  in-module functions — and produces a :class:`ProcessTrace`: the
+  sequence of shared-attribute reads/writes, the lockset held at each
+  point, the yield points, and the lock-acquisition order pairs that the
+  SR rules consume.
+
+Names are canonicalized through the call graph: when ``worker(shard,
+lock)`` is spawned, the accesses inside ``worker`` are reported against
+the *caller's* names (``lock``), so locks and shared objects can be
+compared across process generators.
+
+Approximations (documented in ``docs/static_analysis.md``): branches of
+an ``if`` are walked independently and merged (locks surely held =
+intersection); loops run their body twice (to catch cross-iteration
+read-modify-writes) but may also run zero times; subscript accesses are
+tracked at whole-container granularity (``ftl.mapping[...]`` races with
+any other index of the same mapping).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+#: The DES command vocabulary (repro.sim.des) a process generator may yield.
+DES_COMMANDS = {"Delay", "Acquire", "Release", "AcquireSlot", "ReleaseSlot"}
+
+_ACQUIRE_KIND = {"Acquire": "lock", "AcquireSlot": "slot"}
+_RELEASE_KIND = {"Release": "lock", "ReleaseSlot": "slot"}
+
+#: Maximum call-graph inlining depth (yield-from helpers and plain calls).
+MAX_INLINE_DEPTH = 8
+
+#: Loop bodies are walked twice up to this nesting depth (cross-iteration
+#: read-modify-write detection); deeper nests are walked once.
+MAX_LOOP_UNROLL_DEPTH = 3
+
+
+def call_name(func: ast.expr) -> Optional[str]:
+    """Last identifier of a call target (``Delay`` for ``des.Delay(...)``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def own_nodes(function: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of a function body, excluding nested function/class bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass(frozen=True)
+class LockRef:
+    """A lock or semaphore, identified by its canonical source text."""
+
+    kind: str  # "lock" | "slot"
+    key: str
+
+    def describe(self) -> str:
+        return f"{self.kind} {self.key!r}"
+
+
+class FuncInfo:
+    """One function/method in the module's scope tree."""
+
+    __slots__ = (
+        "node",
+        "name",
+        "parent",
+        "class_name",
+        "children",
+        "is_generator",
+        "is_process",
+        "yielded_from",
+    )
+
+    def __init__(
+        self,
+        node: ast.AST,
+        parent: Optional["FuncInfo"],
+        class_name: Optional[str],
+    ) -> None:
+        self.node = node
+        self.name = node.name  # type: ignore[attr-defined]
+        self.parent = parent
+        self.class_name = class_name
+        self.children: Dict[str, "FuncInfo"] = {}
+        self.is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own_nodes(node)
+        )
+        self.is_process = False
+        #: True when another process generator reaches this one via ``yield from``.
+        self.yielded_from = False
+
+    def param_names(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        return [a.arg for a in list(args.posonlyargs) + list(args.args)]
+
+    def enclosing_class(self) -> Optional[str]:
+        info: Optional[FuncInfo] = self
+        while info is not None:
+            if info.class_name is not None:
+                return info.class_name
+            info = info.parent
+        return None
+
+    def __repr__(self) -> str:
+        prefix = f"{self.class_name}." if self.class_name else ""
+        return f"FuncInfo({prefix}{self.name})"
+
+
+@dataclass
+class SpawnSite:
+    """One ``*.spawn(generator(...))`` call site."""
+
+    call: ast.Call  # the inner generator(...) call
+    generator: FuncInfo
+    in_loop: bool
+    loop_target_roots: Set[str]
+    caller: Optional[FuncInfo]
+
+    def env(self, model: "ModuleModel") -> Dict[str, str]:
+        """Map the generator's parameters to caller-side canonical texts."""
+        env: Dict[str, str] = {}
+        params = self.generator.param_names()
+        for index, arg in enumerate(self.call.args[: len(params)]):
+            text = canonical_text(arg)
+            if text is not None:
+                env[params[index]] = text
+        for keyword in self.call.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                text = canonical_text(keyword.value)
+                if text is not None:
+                    env[keyword.arg] = text
+        return env
+
+
+def canonical_text(expr: ast.expr, env: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Canonical dotted text of a Name/Attribute chain, or None."""
+    if isinstance(expr, ast.Name):
+        if env is not None and expr.id in env:
+            return env[expr.id]
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = canonical_text(expr.value, env)
+        if base is None:
+            return None
+        return f"{base}.{expr.attr}"
+    return None
+
+
+@dataclass
+class Binding:
+    """One instantiation context of a process generator."""
+
+    env: Dict[str, str]
+    site: Optional[SpawnSite]
+
+
+@dataclass
+class Access:
+    """One shared-attribute (or container) access inside a process trace."""
+
+    op: str  # "r" | "w"
+    key: str  # canonical dotted text, e.g. "self._cursor" or "table.rows[]"
+    root: str  # first segment of the canonical text
+    shared: bool
+    node: ast.AST
+    yield_epoch: int
+    lockset: Dict[LockRef, int]
+    via_call: bool
+
+
+@dataclass
+class ProcessTrace:
+    """Everything the SR rules need to know about one process generator."""
+
+    func: FuncInfo
+    binding: Binding
+    accesses: List[Access] = field(default_factory=list)
+    yield_points: List[Tuple[ast.AST, Dict[LockRef, int]]] = field(default_factory=list)
+    #: (held, acquired) -> node of the inner acquire.
+    order_pairs: Dict[Tuple[LockRef, LockRef], ast.AST] = field(default_factory=dict)
+    acquire_nodes: Dict[LockRef, ast.AST] = field(default_factory=dict)
+
+
+class _Frame:
+    """Per-function walk context (environment + local sharedness)."""
+
+    __slots__ = ("func", "env", "local_shared", "depth", "stack", "via_call")
+
+    def __init__(
+        self,
+        func: FuncInfo,
+        env: Dict[str, str],
+        depth: int,
+        stack: FrozenSet[int],
+        via_call: bool,
+    ) -> None:
+        self.func = func
+        self.env = env
+        # name -> does it alias state visible outside this process?
+        self.local_shared: Dict[str, bool] = {}
+        self.depth = depth
+        self.stack = stack
+        self.via_call = via_call
+
+
+class ModuleModel:
+    """Scope tree + process-generator and spawn-site discovery for a module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.functions: List[FuncInfo] = []
+        self._module_scope: Dict[str, FuncInfo] = {}
+        self._class_methods: Dict[str, Dict[str, FuncInfo]] = {}
+        self._build(tree, parent=None, class_name=None, scope=self._module_scope)
+        self._mark_process_generators()
+        self.spawns: List[SpawnSite] = self._find_spawns()
+
+    # ---- construction -------------------------------------------------- #
+
+    def _build(
+        self,
+        node: ast.AST,
+        parent: Optional[FuncInfo],
+        class_name: Optional[str],
+        scope: Dict[str, FuncInfo],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FuncInfo(child, parent, class_name)
+                self.functions.append(info)
+                if class_name is not None:
+                    self._class_methods.setdefault(class_name, {})[info.name] = info
+                else:
+                    scope[info.name] = info
+                self._build(child, parent=info, class_name=None, scope=info.children)
+            elif isinstance(child, ast.ClassDef):
+                self._build(child, parent=parent, class_name=child.name, scope=scope)
+            else:
+                self._build(child, parent=parent, class_name=class_name, scope=scope)
+
+    def _mark_process_generators(self) -> None:
+        for info in self.functions:
+            if any(
+                isinstance(n, ast.Yield)
+                and isinstance(n.value, ast.Call)
+                and call_name(n.value.func) in DES_COMMANDS
+                for n in own_nodes(info.node)
+            ):
+                info.is_process = True
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions:
+                if info.is_process:
+                    continue
+                for node in own_nodes(info.node):
+                    if not isinstance(node, ast.YieldFrom):
+                        continue
+                    if not isinstance(node.value, ast.Call):
+                        continue
+                    callee = self.resolve_call(info, node.value)
+                    if callee is not None and callee.is_process:
+                        info.is_process = True
+                        changed = True
+                        break
+        # Mark helpers reached via yield-from so rule drivers can pick roots.
+        for info in self.functions:
+            if not info.is_process:
+                continue
+            for node in own_nodes(info.node):
+                if isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+                    callee = self.resolve_call(info, node.value)
+                    if callee is not None and callee.is_process:
+                        callee.yielded_from = True
+
+    def _find_spawns(self) -> List[SpawnSite]:
+        sites: List[SpawnSite] = []
+
+        def visit(
+            node: ast.AST,
+            func: Optional[FuncInfo],
+            loop_depth: int,
+            loop_roots: FrozenSet[str],
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = self._info_of(child)
+                    visit(child, info, 0, frozenset())
+                    continue
+                if isinstance(child, (ast.For, ast.AsyncFor)):
+                    roots = loop_roots | frozenset(_target_names(child.target))
+                    visit(child, func, loop_depth + 1, roots)
+                    continue
+                if isinstance(child, ast.While):
+                    visit(child, func, loop_depth + 1, loop_roots)
+                    continue
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "spawn"
+                    and child.args
+                    and isinstance(child.args[0], ast.Call)
+                ):
+                    inner = child.args[0]
+                    callee = None
+                    if func is not None:
+                        callee = self.resolve_call(func, inner)
+                    elif isinstance(inner.func, ast.Name):
+                        callee = self._module_scope.get(inner.func.id)
+                    if callee is not None and callee.is_process:
+                        sites.append(
+                            SpawnSite(
+                                call=inner,
+                                generator=callee,
+                                in_loop=loop_depth > 0,
+                                loop_target_roots=set(loop_roots),
+                                caller=func,
+                            )
+                        )
+                visit(child, func, loop_depth, loop_roots)
+
+        visit(self.tree, None, 0, frozenset())
+        return sites
+
+    def _info_of(self, node: ast.AST) -> Optional[FuncInfo]:
+        for info in self.functions:
+            if info.node is node:
+                return info
+        return None
+
+    # ---- resolution ---------------------------------------------------- #
+
+    def resolve_name(self, caller: FuncInfo, name: str) -> Optional[FuncInfo]:
+        scope: Optional[FuncInfo] = caller
+        while scope is not None:
+            if name in scope.children:
+                return scope.children[name]
+            if scope.parent is None and scope.name == name:
+                return scope
+            if scope.parent is not None and name in scope.parent.children:
+                return scope.parent.children[name]
+            scope = scope.parent
+        return self._module_scope.get(name)
+
+    def resolve_call(self, caller: FuncInfo, call: ast.Call) -> Optional[FuncInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.resolve_name(caller, func.id)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            cls = caller.enclosing_class()
+            if cls is not None:
+                return self._class_methods.get(cls, {}).get(func.attr)
+        return None
+
+    # ---- public queries ------------------------------------------------- #
+
+    def process_generators(self) -> List[FuncInfo]:
+        return [info for info in self.functions if info.is_process]
+
+    def root_process_generators(self) -> List[FuncInfo]:
+        """Process generators worth tracing on their own: spawned ones, plus
+        any never reached through another generator's ``yield from``."""
+        spawned = {id(site.generator) for site in self.spawns}
+        roots = []
+        for info in self.process_generators():
+            if id(info) in spawned or not info.yielded_from:
+                roots.append(info)
+        return roots
+
+    def bindings_for(self, info: FuncInfo) -> List[Binding]:
+        bindings: List[Binding] = []
+        seen: Set[Tuple[Tuple[str, str], ...]] = set()
+        for site in self.spawns:
+            if site.generator is not info:
+                continue
+            env = site.env(self)
+            key = tuple(sorted(env.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            bindings.append(Binding(env=env, site=site))
+        if not bindings:
+            bindings.append(Binding(env={}, site=None))
+        return bindings
+
+    def trace(self, info: FuncInfo, binding: Binding) -> ProcessTrace:
+        trace = ProcessTrace(func=info, binding=binding)
+        tracer = _Tracer(self, trace)
+        frame = _Frame(
+            info, dict(binding.env), depth=0, stack=frozenset({id(info)}), via_call=False
+        )
+        tracer.walk_block(info.node.body, frame)  # type: ignore[attr-defined]
+        return trace
+
+    def traces(self) -> List[ProcessTrace]:
+        out: List[ProcessTrace] = []
+        for info in self.root_process_generators():
+            for binding in self.bindings_for(info):
+                out.append(self.trace(info, binding))
+        return out
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+class _Tracer:
+    """Linear abstract interpreter producing a :class:`ProcessTrace`.
+
+    Walks statements in source order.  Branches are walked independently
+    and merged (lockset = locks surely held in both, at the same
+    acquisition epoch); loop bodies are walked twice to catch
+    cross-iteration read-modify-writes.  ``yield from`` into an in-module
+    process generator and plain calls to in-module helpers are inlined
+    with parameter-to-argument renaming.
+    """
+
+    def __init__(self, model: ModuleModel, trace: ProcessTrace) -> None:
+        self.model = model
+        self.trace = trace
+        self.lockset: Dict[LockRef, int] = {}
+        self.yield_epoch = 0
+        self._acquire_counter = 0
+        self._loop_depth = 0
+
+    # ---- block / statement dispatch ------------------------------------ #
+
+    def walk_block(self, stmts: List[ast.stmt], frame: _Frame) -> bool:
+        """Walk statements; returns True when the block terminates early."""
+        for stmt in stmts:
+            if self._walk_stmt(stmt, frame):
+                return True
+        return False
+
+    def _walk_stmt(self, stmt: ast.stmt, frame: _Frame) -> bool:
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, ast.Yield):
+                self._yield_stmt(value, frame)
+            elif isinstance(value, ast.YieldFrom):
+                self._yield_from(value, frame)
+            else:
+                self._scan_expr(value, frame)
+            return False
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, frame)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, frame)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, frame)
+                self._assign_target(stmt.target, stmt.value, frame)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value, frame)
+            target = stmt.target
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record_access("r", target, frame)
+                self._record_access("w", target, frame)
+            return False
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, frame)
+            return self._walk_branches(stmt.body, stmt.orelse, frame)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter, frame)
+            shared = self._value_shared(stmt.iter, frame)
+            for name in _target_names(stmt.target):
+                frame.local_shared[name] = shared
+                frame.env.pop(name, None)
+            self._walk_loop(stmt.body, stmt.orelse, frame)
+            return False
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, frame)
+            self._walk_loop(stmt.body, stmt.orelse, frame)
+            return False
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, frame)
+            self.walk_block(stmt.body, frame)
+            return False
+        if isinstance(stmt, ast.Try):
+            self.walk_block(stmt.body, frame)
+            for handler in stmt.handlers:
+                self.walk_block(handler.body, frame)
+            self.walk_block(stmt.orelse, frame)
+            self.walk_block(stmt.finalbody, frame)
+            return False
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, frame)
+            return True
+        if isinstance(stmt, (ast.Raise, ast.Break, ast.Continue)):
+            return True
+        return False
+
+    def _walk_branches(
+        self, body: List[ast.stmt], orelse: List[ast.stmt], frame: _Frame
+    ) -> bool:
+        saved_locks = dict(self.lockset)
+        saved_epoch = self.yield_epoch
+        saved_locals = dict(frame.local_shared)
+
+        body_stop = self.walk_block(body, frame)
+        body_locks = self.lockset
+        body_epoch = self.yield_epoch
+        body_locals = frame.local_shared
+
+        self.lockset = dict(saved_locks)
+        self.yield_epoch = saved_epoch
+        frame.local_shared = dict(saved_locals)
+        else_stop = self.walk_block(orelse, frame)
+
+        # Merge: a lock is surely held only if both branches hold it from
+        # the same acquisition; anything else is treated as released.
+        merged = {
+            ref: epoch
+            for ref, epoch in body_locks.items()
+            if self.lockset.get(ref) == epoch
+        }
+        if body_stop and not else_stop:
+            merged = self.lockset
+        elif else_stop and not body_stop:
+            merged = body_locks
+        self.lockset = merged
+        self.yield_epoch = max(body_epoch, self.yield_epoch)
+        for name, shared in body_locals.items():
+            frame.local_shared[name] = frame.local_shared.get(name, shared) or shared
+        return body_stop and else_stop
+
+    def _walk_loop(
+        self, body: List[ast.stmt], orelse: List[ast.stmt], frame: _Frame
+    ) -> None:
+        pre_locks = dict(self.lockset)
+        self._loop_depth += 1
+        self.walk_block(body, frame)
+        if self._loop_depth <= MAX_LOOP_UNROLL_DEPTH:
+            self.walk_block(body, frame)
+        self._loop_depth -= 1
+        self.walk_block(orelse, frame)
+        # The loop may run zero times: only locks held both before and
+        # after the body count as surely held.
+        self.lockset = {
+            ref: epoch
+            for ref, epoch in self.lockset.items()
+            if pre_locks.get(ref) == epoch or ref not in pre_locks and False
+        }
+        self.lockset = {
+            ref: epoch for ref, epoch in pre_locks.items() if self.lockset.get(ref) == epoch
+        }
+
+    # ---- yields and commands ------------------------------------------- #
+
+    def _lock_ref(self, kind: str, call: ast.Call, frame: _Frame) -> LockRef:
+        if call.args:
+            text = canonical_text(call.args[0], frame.env)
+            if text is None:
+                text = ast.unparse(call.args[0])
+        else:
+            text = "<missing>"
+        return LockRef(kind, text)
+
+    def _yield_point(self, node: ast.AST) -> None:
+        self.yield_epoch += 1
+        self.trace.yield_points.append((node, dict(self.lockset)))
+
+    def _yield_stmt(self, node: ast.Yield, frame: _Frame) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = call_name(value.func)
+            if name in _ACQUIRE_KIND:
+                ref = self._lock_ref(_ACQUIRE_KIND[name], value, frame)
+                # A contended acquire suspends the process *before* it
+                # holds the lock, so it is a yield point first.
+                self._yield_point(node)
+                for held in self.lockset:
+                    self.trace.order_pairs.setdefault((held, ref), node)
+                self._acquire_counter += 1
+                self.lockset[ref] = self._acquire_counter
+                self.trace.acquire_nodes.setdefault(ref, node)
+                return
+            if name in _RELEASE_KIND:
+                # Release hands off but never suspends the releasing
+                # process (the scheduler continues its slice).
+                ref = self._lock_ref(_RELEASE_KIND[name], value, frame)
+                self.lockset.pop(ref, None)
+                return
+            self._scan_expr(value, frame)
+            self._yield_point(node)
+            return
+        if value is not None:
+            self._scan_expr(value, frame)
+        self._yield_point(node)
+
+    def _yield_from(self, node: ast.YieldFrom, frame: _Frame) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            callee = self.model.resolve_call(frame.func, value)
+            if (
+                callee is not None
+                and callee.is_process
+                and frame.depth < MAX_INLINE_DEPTH
+                and id(callee) not in frame.stack
+            ):
+                for arg in list(value.args) + [kw.value for kw in value.keywords]:
+                    self._scan_expr(arg, frame)
+                self._inline(callee, value, frame, via_call=frame.via_call)
+                return
+        # Unresolved delegation: assume it yields at least once.
+        self._scan_expr(value, frame)
+        self._yield_point(node)
+
+    def _inline(
+        self, callee: FuncInfo, call: ast.Call, frame: _Frame, via_call: bool
+    ) -> None:
+        env: Dict[str, str] = {}
+        params = callee.param_names()
+        offset = 0
+        if params and params[0] == "self" and isinstance(call.func, ast.Attribute):
+            env["self"] = frame.env.get("self", "self")
+            offset = 1
+        for index, arg in enumerate(call.args):
+            if offset + index >= len(params):
+                break
+            text = canonical_text(arg, frame.env)
+            if text is not None:
+                env[params[offset + index]] = text
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                text = canonical_text(keyword.value, frame.env)
+                if text is not None:
+                    env[keyword.arg] = text
+        inner = _Frame(
+            callee,
+            env,
+            depth=frame.depth + 1,
+            stack=frame.stack | {id(callee)},
+            via_call=via_call,
+        )
+        self.walk_block(callee.node.body, inner)  # type: ignore[attr-defined]
+
+    # ---- expressions and accesses -------------------------------------- #
+
+    def _scan_expr(self, expr: ast.expr, frame: _Frame) -> None:
+        """Record attribute/container reads and inline in-module calls."""
+        skip: Set[int] = set()
+        calls: List[ast.Call] = []
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+                if isinstance(node.func, ast.Attribute):
+                    # obj.method(...) — the method access itself is not a
+                    # state read, but its receiver chain below it is.
+                    skip.add(id(node.func))
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Attribute):
+                skip.add(id(node.value))
+            if isinstance(node, ast.Subscript):
+                if isinstance(node.value, (ast.Attribute, ast.Subscript)):
+                    skip.add(id(node.value))
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Attribute, ast.Subscript)):
+                if id(node) in skip or not isinstance(node.ctx, ast.Load):
+                    continue
+                self._record_access("r", node, frame)
+        for node in calls:
+            callee = self.model.resolve_call(frame.func, node)
+            if (
+                callee is not None
+                and not callee.is_generator
+                and frame.depth < MAX_INLINE_DEPTH
+                and id(callee) not in frame.stack
+            ):
+                self._inline(callee, node, frame, via_call=True)
+
+    def _assign_target(self, target: ast.expr, value: ast.expr, frame: _Frame) -> None:
+        if isinstance(target, ast.Name):
+            frame.local_shared[target.id] = self._value_shared(value, frame)
+            frame.env.pop(target.id, None)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._record_access("w", target, frame)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, value, frame)
+
+    def _value_shared(self, value: ast.expr, frame: _Frame) -> bool:
+        """Does the assigned value alias state visible outside the process?"""
+        if isinstance(value, ast.Name):
+            return self._root_shared(value.id, frame)
+        if isinstance(value, ast.Attribute):
+            text = canonical_text(value, frame.env)
+            if text is None:
+                return False
+            return self._root_shared(text.split(".")[0], frame)
+        return False
+
+    def _root_shared(self, root: str, frame: _Frame) -> bool:
+        if root in frame.local_shared:
+            return frame.local_shared[root]
+        # Parameters, self, closure variables and module globals all alias
+        # state other processes can reach.
+        return True
+
+    def _record_access(self, op: str, expr: ast.expr, frame: _Frame) -> None:
+        key = self._access_key(expr, frame)
+        if key is None:
+            return
+        text, root = key
+        shared = self._root_shared(root, frame)
+        self.trace.accesses.append(
+            Access(
+                op=op,
+                key=text,
+                root=root,
+                shared=shared,
+                node=expr,
+                yield_epoch=self.yield_epoch,
+                lockset=dict(self.lockset),
+                via_call=frame.via_call,
+            )
+        )
+
+    def _access_key(
+        self, expr: ast.expr, frame: _Frame
+    ) -> Optional[Tuple[str, str]]:
+        if isinstance(expr, ast.Subscript):
+            base = canonical_text(expr.value, frame.env)
+            if base is None:
+                return None
+            return f"{base}[]", base.split(".")[0]
+        text = canonical_text(expr, frame.env)
+        if text is None or "." not in text:
+            return None
+        return text, text.split(".")[0]

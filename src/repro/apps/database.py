@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.hierarchy import FlatFlash
 from repro.core.memory_system import MemorySystem
@@ -151,13 +151,28 @@ class MiniDB:
         self,
         transactions: List[Transaction],
         num_threads: int,
+        sim_seed: Optional[int] = None,
+        recorder=None,
     ) -> OLTPResult:
-        """Execute transactions on ``num_threads`` workers; returns timings."""
+        """Execute transactions on ``num_threads`` workers; returns timings.
+
+        ``sim_seed`` opts into a perturbed same-timestamp schedule and
+        ``recorder`` attaches a dynamic access recorder — both are wired
+        straight into the :class:`Simulator` (see :mod:`repro.sim.race`).
+        """
         if num_threads <= 0:
             raise ValueError(f"num_threads must be > 0, got {num_threads}")
         if not transactions:
             raise ValueError("no transactions to run")
-        sim = Simulator()
+        sim = Simulator(seed=sim_seed, recorder=recorder)
+        if recorder is not None:
+            self.system.stats.register_shared(recorder)
+            device = getattr(self.system, "ssd", None)
+            if device is not None:
+                device.register_shared(recorder)
+            bridge = getattr(self.system, "bridge", None)
+            if bridge is not None:
+                bridge.register_shared(recorder)
         log_lock = Lock("central-log")
         # The block systems' log is one sequential file: consecutive log
         # pages land in the same flash block, hence the same channel — so
@@ -217,6 +232,8 @@ def run_oltp(
     scheme: LoggingScheme = LoggingScheme.PER_TRANSACTION,
     table_pages: int = 256,
     seed: int = 17,
+    sim_seed: Optional[int] = None,
+    recorder=None,
 ) -> OLTPResult:
     """Convenience: build a MiniDB, generate transactions, run them."""
     import numpy as np
@@ -228,4 +245,6 @@ def run_oltp(
         table_bytes=database.table.size,
         rng=np.random.default_rng(seed),
     )
-    return database.run(transactions, num_threads)
+    return database.run(
+        transactions, num_threads, sim_seed=sim_seed, recorder=recorder
+    )

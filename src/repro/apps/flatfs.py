@@ -300,6 +300,13 @@ class FlatFS:
             raise FsError(f"{path!r} exists")
         ino = self._alloc_inode()
         block = self._alloc_block()
+        # A recycled block may still hold old file bytes, which would parse
+        # as garbage directory entries; scrub it before the dir goes live.
+        self.system.store(
+            self.data_region.page_addr(block, 0),
+            self.block_size,
+            b"\x00" * self.block_size,
+        )
         slot = self._free_slot(parent)
         blocks = [block] + [0] * (DIRECT_BLOCKS - 1)
         self._journal([

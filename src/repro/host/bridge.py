@@ -53,6 +53,15 @@ class HostBridge:
         self._to_dram = self.stats.counter("bridge.requests_to_dram")
         self._to_ssd = self.stats.counter("bridge.requests_to_ssd")
 
+    def register_shared(self, recorder) -> None:
+        """Name the bridge's shared objects for the dynamic access
+        recorder (:class:`repro.sim.race.AccessRecorder`): DES processes
+        of one memory system all route through this bridge and its PLB."""
+        recorder.register(self, "bridge")
+        recorder.register(self.plb, "bridge.plb")
+        recorder.register(self._to_dram, "bridge.requests_to_dram")
+        recorder.register(self._to_ssd, "bridge.requests_to_ssd")
+
     # ------------------------------------------------------------------ #
     # Persist-bit handling (§3.5)
     # ------------------------------------------------------------------ #

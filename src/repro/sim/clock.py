@@ -69,6 +69,11 @@ class SimClock:
             self._now = timestamp
         return self._now
 
+    def snapshot(self) -> dict:
+        """Flat snapshot for schedule-perturbation diffs (see
+        :func:`repro.sim.race.run_perturbed`)."""
+        return {"clock.now_ns": self._now}
+
     def reset(self, start_ns: int = 0) -> None:
         """Reset the clock, typically between experiment repetitions."""
         if start_ns < 0:

@@ -29,9 +29,11 @@ Example::
 from __future__ import annotations
 
 import heapq
+import random
 from collections import deque
 from typing import Deque, Dict, Generator, List, Optional, Tuple, Union
 
+from repro.sim.race import AccessRecorder
 from repro.sim.sanitizers import LockSanitizer, default_enabled
 
 
@@ -143,12 +145,15 @@ class Timeout(Exception):
 
 
 class _ProcState:
-    __slots__ = ("pid", "generator", "finished_at")
+    __slots__ = ("pid", "generator", "finished_at", "held_locks", "held_slots")
 
     def __init__(self, pid: int, generator: Process) -> None:
         self.pid = pid
         self.generator = generator
         self.finished_at: Optional[int] = None
+        # Acquisition-ordered, so error cleanup can release in reverse.
+        self.held_locks: List[Lock] = []
+        self.held_slots: List[Semaphore] = []
 
 
 class Simulator:
@@ -162,16 +167,34 @@ class Simulator:
     locks held at process exit, deadlock detection at block time).  When
     left ``None`` it follows the process-wide sanitizer default, which
     the test suite switches on.
+
+    ``seed`` opts into a perturbed schedule: events at equal timestamps
+    are ordered by a seeded random tie-break key instead of FIFO.  Any
+    stat that changes under a different seed depends on the interleaving
+    of same-timestamp events (see :func:`repro.sim.race.run_perturbed`).
+    Lock hand-off stays FIFO either way.
+
+    ``recorder`` installs a :class:`repro.sim.race.AccessRecorder` for
+    the duration of :meth:`run`: the scheduler keeps the recorder's
+    (pid, lockset) context current so instrumented shared-state accesses
+    are attributed to the running process.
     """
 
-    def __init__(self, sanitizer: Optional[LockSanitizer] = None) -> None:
-        self._heap: List[Tuple[int, int, int]] = []  # (time, seq, pid)
+    def __init__(
+        self,
+        sanitizer: Optional[LockSanitizer] = None,
+        seed: Optional[int] = None,
+        recorder: Optional[AccessRecorder] = None,
+    ) -> None:
+        self._heap: List[Tuple[int, int, int, int]] = []  # (time, tie, seq, pid)
         self._seq = 0
         self._procs: Dict[int, _ProcState] = {}
         self._blocked: Dict[int, Union[Lock, Semaphore]] = {}
         if sanitizer is None and default_enabled():
             sanitizer = LockSanitizer()
         self._sanitizer = sanitizer
+        self._rng = None if seed is None else random.Random(seed)
+        self._recorder = recorder
         self.now = 0
 
     def spawn(self, process: Process, start_ns: int = 0) -> int:
@@ -182,12 +205,87 @@ class Simulator:
         return pid
 
     def _schedule(self, time_ns: int, pid: int) -> None:
-        heapq.heappush(self._heap, (time_ns, self._seq, pid))
+        tie = 0 if self._rng is None else self._rng.getrandbits(32)
+        heapq.heappush(self._heap, (time_ns, tie, self._seq, pid))
         self._seq += 1
+
+    def _sync_recorder(self, state: _ProcState) -> None:
+        """Refresh the recorder's (pid, lockset) context for ``state``."""
+        recorder = self._recorder
+        if recorder is None:
+            return
+        names = frozenset(
+            [lock.name for lock in state.held_locks]
+            + [sem.name for sem in state.held_slots]
+        )
+        recorder.set_context(state.pid, names)
+
+    def _release_lock(self, pid: int, lock: Lock) -> None:
+        """Release ``lock`` held by ``pid``, handing off to the next waiter."""
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_released(pid, lock)
+        if lock.holder != pid:
+            raise RuntimeError(
+                f"process {pid} released {lock.name!r} held by {lock.holder}"
+            )
+        self._procs[pid].held_locks.remove(lock)
+        if lock.waiters:
+            next_pid = lock.waiters.popleft()
+            lock.holder = next_pid
+            self._procs[next_pid].held_locks.append(lock)
+            del self._blocked[next_pid]
+            self._schedule(self.now, next_pid)
+            if sanitizer is not None:
+                sanitizer.on_acquired(next_pid, lock)
+        else:
+            lock.holder = None
+
+    def _release_slot(self, pid: int, semaphore: Semaphore) -> None:
+        """Return ``pid``'s slot of ``semaphore``, handing off to a waiter."""
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_slot_released(pid, semaphore)
+        if pid not in semaphore.holders:
+            raise RuntimeError(
+                f"process {pid} released {semaphore.name!r} without a slot"
+            )
+        semaphore.holders.discard(pid)
+        self._procs[pid].held_slots.remove(semaphore)
+        if semaphore.waiters:
+            next_pid = semaphore.waiters.popleft()
+            semaphore.holders.add(next_pid)
+            self._procs[next_pid].held_slots.append(semaphore)
+            del self._blocked[next_pid]
+            self._schedule(self.now, next_pid)
+            if sanitizer is not None:
+                sanitizer.on_slot_acquired(next_pid, semaphore)
+
+    def _cleanup_after_error(self, pid: int) -> None:
+        """A process generator raised: release everything it still holds
+        (in reverse acquisition order) so waiters are not deadlocked, and
+        retire the process."""
+        state = self._procs[pid]
+        for lock in list(reversed(state.held_locks)):
+            self._release_lock(pid, lock)
+        for semaphore in list(reversed(state.held_slots)):
+            self._release_slot(pid, semaphore)
+        state.finished_at = self.now
+        if self._sanitizer is not None:
+            self._sanitizer.on_finished(pid)
 
     def _step_process(self, pid: int) -> None:
         """Advance one process until it blocks, delays, or finishes."""
         state = self._procs[pid]
+        self._sync_recorder(state)
+        try:
+            self._run_slice(state)
+        finally:
+            if self._recorder is not None:
+                self._recorder.set_context(None, frozenset())
+
+    def _run_slice(self, state: _ProcState) -> None:
+        pid = state.pid
         sanitizer = self._sanitizer
         while True:
             try:
@@ -197,6 +295,9 @@ class Simulator:
                 if sanitizer is not None:
                     sanitizer.on_finished(pid)
                 return
+            except Exception:
+                self._cleanup_after_error(pid)
+                raise
             if isinstance(command, Delay):
                 self._schedule(self.now + command.ns, pid)
                 return
@@ -205,8 +306,10 @@ class Simulator:
                 lock.acquisitions += 1
                 if lock.holder is None:
                     lock.holder = pid
+                    state.held_locks.append(lock)
                     if sanitizer is not None:
                         sanitizer.on_acquired(pid, lock)
+                    self._sync_recorder(state)
                     continue  # acquired immediately; keep running
                 lock.contended_acquisitions += 1
                 lock.waiters.append(pid)
@@ -215,30 +318,18 @@ class Simulator:
                     sanitizer.on_blocked(pid, lock)
                 return
             if isinstance(command, Release):
-                lock = command.lock
-                if sanitizer is not None:
-                    sanitizer.on_released(pid, lock)
-                if lock.holder != pid:
-                    raise RuntimeError(
-                        f"process {pid} released {lock.name!r} held by {lock.holder}"
-                    )
-                if lock.waiters:
-                    next_pid = lock.waiters.popleft()
-                    lock.holder = next_pid
-                    del self._blocked[next_pid]
-                    self._schedule(self.now, next_pid)
-                    if sanitizer is not None:
-                        sanitizer.on_acquired(next_pid, lock)
-                else:
-                    lock.holder = None
+                self._release_lock(pid, command.lock)
+                self._sync_recorder(state)
                 continue  # keep running after a release
             if isinstance(command, AcquireSlot):
                 semaphore = command.semaphore
                 semaphore.acquisitions += 1
                 if len(semaphore.holders) < semaphore.capacity:
                     semaphore.holders.add(pid)
+                    state.held_slots.append(semaphore)
                     if sanitizer is not None:
                         sanitizer.on_slot_acquired(pid, semaphore)
+                    self._sync_recorder(state)
                     continue
                 semaphore.contended_acquisitions += 1
                 semaphore.waiters.append(pid)
@@ -247,21 +338,8 @@ class Simulator:
                     sanitizer.on_blocked(pid, semaphore)
                 return
             if isinstance(command, ReleaseSlot):
-                semaphore = command.semaphore
-                if sanitizer is not None:
-                    sanitizer.on_slot_released(pid, semaphore)
-                if pid not in semaphore.holders:
-                    raise RuntimeError(
-                        f"process {pid} released {semaphore.name!r} without a slot"
-                    )
-                semaphore.holders.discard(pid)
-                if semaphore.waiters:
-                    next_pid = semaphore.waiters.popleft()
-                    semaphore.holders.add(next_pid)
-                    del self._blocked[next_pid]
-                    self._schedule(self.now, next_pid)
-                    if sanitizer is not None:
-                        sanitizer.on_slot_acquired(next_pid, semaphore)
+                self._release_slot(pid, command.semaphore)
+                self._sync_recorder(state)
                 continue
             raise TypeError(f"process {pid} yielded unknown command: {command!r}")
 
@@ -271,14 +349,21 @@ class Simulator:
         Raises :class:`Timeout` if ``until_ns`` is reached first, and
         :class:`RuntimeError` on deadlock (blocked processes, empty heap).
         """
-        while self._heap:
-            time_ns, _seq, pid = heapq.heappop(self._heap)
-            if until_ns is not None and time_ns > until_ns:
-                raise Timeout(f"simulation exceeded {until_ns}ns at t={time_ns}ns")
-            if time_ns < self.now:
-                raise RuntimeError("event scheduled in the past")
-            self.now = time_ns
-            self._step_process(pid)
+        from repro.sim import race
+
+        previous = race.install(self._recorder) if self._recorder is not None else None
+        try:
+            while self._heap:
+                time_ns, _tie, _seq, pid = heapq.heappop(self._heap)
+                if until_ns is not None and time_ns > until_ns:
+                    raise Timeout(f"simulation exceeded {until_ns}ns at t={time_ns}ns")
+                if time_ns < self.now:
+                    raise RuntimeError("event scheduled in the past")
+                self.now = time_ns
+                self._step_process(pid)
+        finally:
+            if self._recorder is not None:
+                race.install(previous)
         if self._blocked:
             blocked = sorted(self._blocked)
             raise RuntimeError(f"deadlock: processes {blocked} blocked forever")

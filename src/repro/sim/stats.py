@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional
 
+from repro.sim import race
+
 
 class Counter:
     """A named monotone counter."""
@@ -29,6 +31,8 @@ class Counter:
     def add(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        if race._ACTIVE is not None:
+            race._ACTIVE.note(self, "value", "w")
         self.value += amount
 
     def reset(self) -> None:
@@ -52,6 +56,8 @@ class RatioStat:
         self.total = 0
 
     def record(self, hit: bool) -> None:
+        if race._ACTIVE is not None:
+            race._ACTIVE.note(self, "total", "w")
         self.total += 1
         if hit:
             self.hits += 1
@@ -97,6 +103,8 @@ class LatencyStats:
         latency = int(latency_ns)
         if latency < 0:
             raise ValueError(f"negative latency recorded on {self.name!r}: {latency}")
+        if race._ACTIVE is not None:
+            race._ACTIVE.note(self, "_count", "w")
         self._count += 1
         self._sum += latency
         if self._min is None or latency < self._min:
@@ -205,6 +213,8 @@ class Histogram:
         return self.base_ns * (2**bucket)
 
     def record(self, latency_ns: int) -> None:
+        if race._ACTIVE is not None:
+            race._ACTIVE.note(self, "buckets", "w")
         self.buckets[self.bucket_of(latency_ns)] += 1
         self.count += 1
 
@@ -278,6 +288,20 @@ class StatRegistry:
             snapshot[f"{name}.count"] = lat.count
             snapshot[f"{name}.mean_ns"] = lat.mean
         return snapshot
+
+    def snapshot(self) -> Dict[str, float]:
+        """Key-sorted :meth:`as_dict`, for byte-identical schedule diffs."""
+        flat = self.as_dict()
+        return {key: flat[key] for key in sorted(flat)}
+
+    def register_shared(self, recorder: "race.AccessRecorder", prefix: str = "") -> None:
+        """Name every stat primitive for the dynamic access recorder."""
+        for name, counter in self._counters.items():
+            recorder.register(counter, f"{prefix}{name}")
+        for name, ratio in self._ratios.items():
+            recorder.register(ratio, f"{prefix}{name}")
+        for name, lat in self._latencies.items():
+            recorder.register(lat, f"{prefix}{name}")
 
     def reset(self) -> None:
         for counter in self._counters.values():

@@ -148,6 +148,21 @@ class ByteAddressableSSD:
         # can revert them).  Cleared by verify_read().
         self._posted_log: List[Tuple[int, int, Optional[bytes]]] = []
 
+    def register_shared(self, recorder) -> None:
+        """Name the device's shared objects for the dynamic access
+        recorder (:class:`repro.sim.race.AccessRecorder`): every DES
+        process of one memory system funnels into this device, so its
+        FTL, SSD-Cache and GC state are the prime race candidates."""
+        recorder.register(self, "ssd")
+        recorder.register(self.ftl, "ssd.ftl")
+        recorder.register(self.cache, "ssd.cache")
+        recorder.register(self.gc, "ssd.gc")
+        recorder.register(self.flash, "ssd.flash")
+        recorder.register(self._mmio_reads, "ssd.mmio_reads")
+        recorder.register(self._mmio_writes, "ssd.mmio_writes")
+        recorder.register(self._fills, "ssd.cache_fills")
+        recorder.register(self._durable_writes, "ssd.durable_writes")
+
     # ------------------------------------------------------------------ #
     # Address handling
     # ------------------------------------------------------------------ #

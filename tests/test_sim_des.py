@@ -214,3 +214,306 @@ def test_fully_serialized_runtime_is_sum(holds):
     for ns in holds:
         sim.spawn(proc(ns))
     assert sim.run() == sum(holds)
+
+
+# --------------------------------------------------------------------- #
+# Exception cleanup: a crashing process must not leak locks or slots
+# --------------------------------------------------------------------- #
+
+
+def test_exception_releases_held_lock_to_waiter():
+    sim = Simulator()
+    lock = Lock()
+    entries = []
+
+    def crasher():
+        yield Acquire(lock)
+        yield Delay(10)
+        raise ValueError("boom")
+
+    def waiter():
+        yield Acquire(lock)
+        entries.append("waiter")
+        yield Release(lock)
+
+    sim.spawn(crasher())
+    waiter_pid = sim.spawn(waiter())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+    # The crash released the lock and handed it to the waiter...
+    assert lock.holder == waiter_pid
+    # ...so resuming the simulation lets the waiter proceed.
+    sim.run()
+    assert entries == ["waiter"]
+    assert lock.holder is None
+
+
+def test_exception_releases_semaphore_slot():
+    from repro.sim.des import AcquireSlot, ReleaseSlot, Semaphore
+
+    sim = Simulator()
+    semaphore = Semaphore(1)
+    entries = []
+
+    def crasher():
+        yield AcquireSlot(semaphore)
+        yield Delay(10)
+        raise RuntimeError("crash with slot held")
+
+    def waiter():
+        yield AcquireSlot(semaphore)
+        entries.append("waiter")
+        yield ReleaseSlot(semaphore)
+
+    sim.spawn(crasher())
+    waiter_pid = sim.spawn(waiter())
+    with pytest.raises(RuntimeError, match="crash with slot held"):
+        sim.run()
+    assert semaphore.holders == {waiter_pid}
+    sim.run()
+    assert entries == ["waiter"]
+    assert not semaphore.holders
+
+
+def test_exception_releases_everything_held():
+    sim = Simulator()
+    lock_a, lock_b = Lock("a"), Lock("b")
+    entries = []
+
+    def crasher():
+        yield Acquire(lock_a)
+        yield Acquire(lock_b)
+        yield Delay(5)
+        raise ValueError("double crash")
+
+    def needs(lock, name):
+        yield Acquire(lock)
+        entries.append(name)
+        yield Release(lock)
+
+    sim.spawn(crasher())
+    sim.spawn(needs(lock_a, "a"))
+    sim.spawn(needs(lock_b, "b"))
+    with pytest.raises(ValueError):
+        sim.run()
+    sim.run()
+    assert sorted(entries) == ["a", "b"]
+
+
+def test_exception_cleanup_keeps_sanitizer_consistent():
+    from repro.sim.sanitizers import LockSanitizer
+
+    sim = Simulator(sanitizer=LockSanitizer())
+    lock = Lock()
+
+    def crasher():
+        yield Acquire(lock)
+        raise ValueError("with sanitizer")
+
+    sim.spawn(crasher())
+    # The process exception propagates; the sanitizer must not report a
+    # leaked lock (which would raise LockSanitizerError instead).
+    with pytest.raises(ValueError, match="with sanitizer"):
+        sim.run()
+    assert lock.holder is None
+
+
+def test_crashed_process_has_finish_time():
+    sim = Simulator()
+
+    def crasher():
+        yield Delay(42)
+        raise ValueError("late crash")
+
+    pid = sim.spawn(crasher())
+    with pytest.raises(ValueError):
+        sim.run()
+    assert sim.finish_time(pid) == 42
+
+
+# --------------------------------------------------------------------- #
+# Seeded schedule perturbation
+# --------------------------------------------------------------------- #
+
+
+def _tie_break_order(seed, procs=6):
+    sim = Simulator(seed=seed)
+    order = []
+
+    def proc(name):
+        yield Delay(10)
+        order.append(name)
+
+    for i in range(procs):
+        sim.spawn(proc(i))
+    assert sim.run() == 10
+    return order
+
+
+def test_unseeded_schedule_is_fifo():
+    assert _tie_break_order(None) == list(range(6))
+
+
+def test_seeded_schedule_is_deterministic():
+    for seed in (1, 2, 3):
+        assert _tie_break_order(seed) == _tie_break_order(seed)
+
+
+def test_some_seed_perturbs_same_timestamp_order():
+    baseline = list(range(6))
+    assert any(_tie_break_order(seed) != baseline for seed in range(1, 11))
+
+
+def test_seed_preserves_fifo_lock_handoff():
+    # Perturbation reorders same-timestamp *events*; the lock queue itself
+    # stays FIFO, so total serialized time is unchanged.
+    sim = Simulator(seed=99)
+    lock = Lock()
+
+    def proc():
+        yield Acquire(lock)
+        yield Delay(100)
+        yield Release(lock)
+
+    for _ in range(4):
+        sim.spawn(proc())
+    assert sim.run() == 400
+
+
+# --------------------------------------------------------------------- #
+# Access recorder (Eraser lockset pass)
+# --------------------------------------------------------------------- #
+
+
+def test_recorder_flags_unlocked_shared_counter():
+    from repro.sim.race import AccessRecorder
+    from repro.sim.stats import Counter
+
+    recorder = AccessRecorder()
+    counter = Counter("hits")
+    recorder.register(counter, "shared.hits")
+    sim = Simulator(recorder=recorder)
+
+    def proc():
+        yield Delay(1)
+        counter.add(1)
+        yield Delay(1)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    conflicts = recorder.conflicts()
+    assert len(conflicts) == 1
+    report = conflicts[0]
+    assert (report.obj, report.attr) == ("shared.hits", "value")
+    assert report.pids == (0, 1)
+    assert report.writes == 2
+    assert "empty candidate lockset" in report.describe()
+
+
+def test_recorder_quiet_when_counter_is_locked():
+    from repro.sim.race import AccessRecorder
+    from repro.sim.stats import Counter
+
+    recorder = AccessRecorder()
+    counter = Counter("hits")
+    lock = Lock("stats-lock")
+    sim = Simulator(recorder=recorder)
+
+    def proc():
+        yield Delay(1)
+        yield Acquire(lock)
+        counter.add(1)
+        yield Release(lock)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    assert recorder.conflicts() == []
+    # Accesses were still recorded, with the lock in the lockset.
+    assert all("stats-lock" in record.lockset for record in recorder.records)
+
+
+def test_recorder_quiet_for_single_process():
+    from repro.sim.race import AccessRecorder
+    from repro.sim.stats import Counter
+
+    recorder = AccessRecorder()
+    counter = Counter("solo")
+    sim = Simulator(recorder=recorder)
+
+    def proc():
+        yield Delay(1)
+        counter.add(1)
+
+    sim.spawn(proc())
+    sim.run()
+    assert recorder.conflicts() == []  # one pid: no race
+
+
+def test_recorder_ignores_accesses_outside_run():
+    from repro.sim import race
+    from repro.sim.race import AccessRecorder
+    from repro.sim.stats import Counter
+
+    recorder = AccessRecorder()
+    counter = Counter("outside")
+    sim = Simulator(recorder=recorder)
+
+    def proc():
+        yield Delay(1)
+
+    sim.spawn(proc())
+    sim.run()
+    counter.add(1)  # after run(): recorder uninstalled, context cleared
+    assert race.active() is None
+    assert recorder.records == []
+
+
+def test_run_perturbed_identical_for_deterministic_scenario():
+    from repro.sim.race import run_perturbed
+
+    def scenario(seed):
+        sim = Simulator(seed=seed)
+        lock = Lock()
+        done = []
+
+        def proc():
+            yield Acquire(lock)
+            yield Delay(100)
+            yield Release(lock)
+            done.append(sim.now)
+
+        for _ in range(3):
+            sim.spawn(proc())
+        elapsed = sim.run()
+        return {"elapsed": elapsed, "finished": len(done)}
+
+    report = run_perturbed(scenario, seeds=4)
+    assert report.identical
+    assert "schedule-independent" in report.format()
+
+
+def test_run_perturbed_reports_schedule_dependence():
+    from repro.sim.race import run_perturbed
+
+    def scenario(seed):
+        # Deliberately schedule-dependent: records which same-timestamp
+        # process runs first.
+        winner = []
+        sim = Simulator(seed=seed)
+
+        def proc(name):
+            yield Delay(10)
+            if not winner:
+                winner.append(name)
+
+        for i in range(6):
+            sim.spawn(proc(i))
+        sim.run()
+        return {"winner": winner[0]}
+
+    report = run_perturbed(scenario, seeds=10)
+    assert not report.identical
+    assert any(diff.key == "winner" for diff in report.diffs)
+    assert "schedule-DEPENDENT" in report.format()

@@ -1,0 +1,504 @@
+"""simrace rule tests: one violating and one clean fixture per rule.
+
+Mirrors ``tests/test_simlint.py``: every SR rule gets a minimal process
+fixture that fires it and a minimal fixture that must stay quiet, plus
+suppression, CLI, shared-JSON-schema, and repo-is-clean tests.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.simrace import RULES, analyze_paths, analyze_source
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def check(snippet, path="repro/sim/fake.py", select=None):
+    return analyze_source(textwrap.dedent(snippet), path=path, select=select)
+
+
+# --------------------------------------------------------------------- #
+# SR000: syntax errors
+# --------------------------------------------------------------------- #
+
+
+def test_sr000_syntax_error_is_reported_not_raised():
+    violations = check("def broken(:\n")
+    assert codes(violations) == ["SR000"]
+    assert violations[0].line == 1
+
+
+# --------------------------------------------------------------------- #
+# SR001: read-modify-write straddling a yield without a lock
+# --------------------------------------------------------------------- #
+
+
+def test_sr001_flags_rmw_across_yield():
+    violations = check(
+        """
+        def worker(stats, lock):
+            value = stats.hits
+            yield Delay(10)
+            stats.hits = value + 1
+        """,
+        select=["SR001"],
+    )
+    assert codes(violations) == ["SR001"]
+    assert violations[0].line == 5  # the write completes the stale RMW
+    assert "stats.hits" in violations[0].message
+    assert "line 3" in violations[0].message  # ...and the read is cited
+
+
+def test_sr001_clean_when_lock_held_across_yield():
+    violations = check(
+        """
+        def worker(stats, lock):
+            yield Acquire(lock)
+            value = stats.hits
+            yield Delay(10)
+            stats.hits = value + 1
+            yield Release(lock)
+        """,
+        select=["SR001"],
+    )
+    assert violations == []
+
+
+def test_sr001_clean_same_slice_rmw():
+    violations = check(
+        """
+        def worker(stats, lock):
+            yield Delay(10)
+            stats.hits = stats.hits + 1
+            stats.misses += 1
+        """,
+        select=["SR001"],
+    )
+    assert violations == []
+
+
+def test_sr001_flags_rmw_through_helper():
+    # Interprocedural: the read happens inside a helper the process calls.
+    violations = check(
+        """
+        def _read(stats):
+            return stats.hits
+
+        def worker(stats, lock):
+            value = _read(stats)
+            yield Delay(10)
+            stats.hits = value + 1
+        """,
+        select=["SR001"],
+    )
+    assert codes(violations) == ["SR001"]
+
+
+def test_sr001_lock_released_before_yield_still_flags():
+    # Holding the lock for the read only does not protect the RMW.
+    violations = check(
+        """
+        def worker(stats, lock):
+            yield Acquire(lock)
+            value = stats.hits
+            yield Release(lock)
+            yield Delay(10)
+            stats.hits = value + 1
+        """,
+        select=["SR001"],
+    )
+    assert codes(violations) == ["SR001"]
+
+
+# --------------------------------------------------------------------- #
+# SR002: lock leaked on some path
+# --------------------------------------------------------------------- #
+
+
+def test_sr002_flags_return_with_lock_held():
+    violations = check(
+        """
+        def worker(lock, fast):
+            yield Acquire(lock)
+            if fast:
+                return
+            yield Delay(10)
+            yield Release(lock)
+        """,
+        select=["SR002"],
+    )
+    assert codes(violations) == ["SR002"]
+    assert violations[0].line == 3  # anchored at the leaking Acquire
+
+
+def test_sr002_clean_correlated_conditions():
+    # Acquire and Release gated on the same pure condition: balanced.
+    violations = check(
+        """
+        def worker(lock, centralized):
+            if centralized:
+                yield Acquire(lock)
+            yield Delay(10)
+            if centralized:
+                yield Release(lock)
+        """,
+        select=["SR002"],
+    )
+    assert violations == []
+
+
+def test_sr002_clean_release_on_every_path():
+    violations = check(
+        """
+        def worker(lock, fast):
+            yield Acquire(lock)
+            if fast:
+                yield Release(lock)
+                return
+            yield Delay(10)
+            yield Release(lock)
+        """,
+        select=["SR002"],
+    )
+    assert violations == []
+
+
+def test_sr002_raise_paths_are_exempt():
+    # The scheduler's error cleanup releases held locks; a raising path
+    # is not a leak.
+    violations = check(
+        """
+        def worker(lock, bad):
+            yield Acquire(lock)
+            if bad:
+                raise ValueError("bad")
+            yield Release(lock)
+        """,
+        select=["SR002"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# SR003: inconsistent lock acquisition order
+# --------------------------------------------------------------------- #
+
+
+def test_sr003_flags_reversed_lock_order():
+    violations = check(
+        """
+        def forward(a, b):
+            yield Acquire(a)
+            yield Acquire(b)
+            yield Release(b)
+            yield Release(a)
+
+        def backward(a, b):
+            yield Acquire(b)
+            yield Acquire(a)
+            yield Release(a)
+            yield Release(b)
+        """,
+        select=["SR003"],
+    )
+    assert codes(violations) == ["SR003"]
+    assert "deadlock" in violations[0].message.lower()
+
+
+def test_sr003_clean_consistent_order():
+    violations = check(
+        """
+        def one(a, b):
+            yield Acquire(a)
+            yield Acquire(b)
+            yield Release(b)
+            yield Release(a)
+
+        def two(a, b):
+            yield Acquire(a)
+            yield Acquire(b)
+            yield Release(b)
+            yield Release(a)
+        """,
+        select=["SR003"],
+    )
+    assert violations == []
+
+
+def test_sr003_sees_through_spawn_bindings():
+    # The same generator spawned with swapped lock arguments races itself.
+    violations = check(
+        """
+        def worker(first, second):
+            yield Acquire(first)
+            yield Acquire(second)
+            yield Release(second)
+            yield Release(first)
+
+        def main(sim, log_lock, page_lock):
+            sim.spawn(worker(log_lock, page_lock))
+            sim.spawn(worker(page_lock, log_lock))
+        """,
+        select=["SR003"],
+    )
+    assert codes(violations) == ["SR003"]
+
+
+# --------------------------------------------------------------------- #
+# SR004: unlocked write to an object shared by multiple processes
+# --------------------------------------------------------------------- #
+
+
+def test_sr004_flags_loop_spawn_shared_write():
+    violations = check(
+        """
+        def worker(stats):
+            yield Delay(10)
+            stats.hits = stats.hits + 1
+
+        def main(sim, stats):
+            for _ in range(4):
+                sim.spawn(worker(stats))
+        """,
+        select=["SR004"],
+    )
+    assert codes(violations) == ["SR004"]
+    assert violations[0].line == 4  # the unlocked write
+
+
+def test_sr004_clean_per_instance_argument():
+    # Each spawn passes its own object (the loop variable): not shared.
+    violations = check(
+        """
+        def worker(stats):
+            yield Delay(10)
+            stats.hits = stats.hits + 1
+
+        def main(sim, all_stats):
+            for stats in all_stats:
+                sim.spawn(worker(stats))
+        """,
+        select=["SR004"],
+    )
+    assert violations == []
+
+
+def test_sr004_clean_when_write_is_locked():
+    violations = check(
+        """
+        def worker(stats, lock):
+            yield Acquire(lock)
+            stats.hits = stats.hits + 1
+            yield Release(lock)
+
+        def main(sim, stats, lock):
+            for _ in range(4):
+                sim.spawn(worker(stats, lock))
+        """,
+        select=["SR004"],
+    )
+    assert violations == []
+
+
+def test_sr004_clean_single_spawn():
+    violations = check(
+        """
+        def worker(stats):
+            yield Delay(10)
+            stats.hits = stats.hits + 1
+
+        def main(sim, stats):
+            sim.spawn(worker(stats))
+        """,
+        select=["SR004"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------- #
+
+
+def test_suppression_comment_silences_one_code():
+    violations = check(
+        """
+        def worker(stats, lock):
+            value = stats.hits
+            yield Delay(10)
+            stats.hits = value + 1  # simrace: disable=SR001
+        """,
+    )
+    assert violations == []
+
+
+def test_suppression_without_codes_silences_everything():
+    violations = check(
+        """
+        def worker(lock, fast):
+            yield Acquire(lock)  # simrace: disable
+            if fast:
+                return
+            yield Release(lock)
+        """,
+    )
+    assert violations == []
+
+
+def test_suppression_for_other_code_does_not_silence():
+    violations = check(
+        """
+        def worker(stats, lock):
+            value = stats.hits
+            yield Delay(10)
+            stats.hits = value + 1  # simrace: disable=SR004
+        """,
+    )
+    assert codes(violations) == ["SR001"]
+
+
+def test_simlint_suppression_does_not_silence_simrace():
+    violations = check(
+        """
+        def worker(stats, lock):
+            value = stats.hits
+            yield Delay(10)
+            stats.hits = value + 1  # simlint: disable
+        """,
+    )
+    assert codes(violations) == ["SR001"]
+
+
+# --------------------------------------------------------------------- #
+# Catalogue and non-process files
+# --------------------------------------------------------------------- #
+
+
+def test_rule_catalogue_is_complete():
+    assert [rule.code for rule in RULES] == ["SR001", "SR002", "SR003", "SR004"]
+    for rule in RULES:
+        assert rule.title
+        assert rule.explanation
+
+
+def test_files_without_processes_are_skipped():
+    violations = check(
+        """
+        def plain(a, b):
+            return a + b
+
+        def numbers():
+            yield 1
+            yield 2
+        """,
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# CLI + shared JSON schema
+# --------------------------------------------------------------------- #
+
+_SR001_BAD = textwrap.dedent(
+    """
+    def worker(stats, lock):
+        value = stats.hits
+        yield Delay(10)
+        stats.hits = value + 1
+    """
+)
+
+
+def _run_cli(module, args, tmp_path):
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env={"PYTHONPATH": str(pathlib.Path(__file__).resolve().parents[1] / "src")},
+    )
+
+
+def test_cli_exits_nonzero_on_violation(tmp_path):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(_SR001_BAD)
+    result = _run_cli("repro.analysis.simrace", ["repro"], tmp_path)
+    assert result.returncode == 1
+    assert "SR001" in result.stdout
+
+
+def test_cli_exits_zero_on_clean_tree(tmp_path):
+    good = tmp_path / "repro" / "sim" / "good.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("def worker(lock):\n    yield Delay(10)\n")
+    result = _run_cli("repro.analysis.simrace", ["repro"], tmp_path)
+    assert result.returncode == 0
+    assert "clean" in result.stdout
+
+
+def test_cli_list_rules(tmp_path):
+    result = _run_cli("repro.analysis.simrace", ["--list-rules"], tmp_path)
+    assert result.returncode == 0
+    for code in ("SR001", "SR004"):
+        assert code in result.stdout
+
+
+def test_cli_rejects_unknown_select(tmp_path):
+    result = _run_cli("repro.analysis.simrace", ["--select", "SR999", "."], tmp_path)
+    assert result.returncode == 2
+    assert "SR999" in result.stderr
+
+
+def _assert_findings_schema(payload, tool):
+    assert payload["tool"] == tool
+    assert payload["schema_version"] == 1
+    assert payload["count"] == len(payload["findings"])
+    assert isinstance(payload["files_checked"], int)
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+
+
+def test_json_output_shared_schema(tmp_path):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    # One file violating both tools: a mutable default (SL008) on a
+    # process whose RMW straddles a yield (SR001).
+    bad.write_text(
+        "def worker(stats, lock, items=[]):\n"
+        "    value = stats.hits\n"
+        "    yield Delay(10)\n"
+        "    stats.hits = value + 1\n"
+    )
+    race = _run_cli("repro.analysis.simrace", ["--json", "repro"], tmp_path)
+    lint = _run_cli("repro.analysis.simlint", ["--json", "repro"], tmp_path)
+    assert race.returncode == 1
+    assert lint.returncode == 1
+    race_payload = json.loads(race.stdout)
+    lint_payload = json.loads(lint.stdout)
+    _assert_findings_schema(race_payload, "simrace")
+    _assert_findings_schema(lint_payload, "simlint")
+    assert [f["code"] for f in race_payload["findings"]] == ["SR001"]
+    assert "SL008" in [f["code"] for f in lint_payload["findings"]]
+
+
+def test_json_output_clean_tree_exits_zero(tmp_path):
+    good = tmp_path / "repro" / "sim" / "good.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("def worker(lock):\n    yield Delay(10)\n")
+    result = _run_cli("repro.analysis.simrace", ["--json", "repro"], tmp_path)
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["count"] == 0
+    assert payload["findings"] == []
+
+
+def test_repo_tree_is_simrace_clean():
+    src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    violations = analyze_paths([str(src)])
+    assert violations == [], "\n".join(v.format() for v in violations)
