@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint race bench experiments examples all clean
+.PHONY: install test lint flow race bench experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -8,16 +8,21 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# simlint and simrace are in-tree and always run; ruff runs when installed
-# (CI installs it via the dev extras, bare environments may not have it).
+# simlint, simrace and simflow are in-tree and always run; ruff runs when
+# installed (CI installs it via the dev extras, bare environments may not).
 lint:
 	$(PYTHON) -m repro.analysis.simlint src/
 	$(PYTHON) -m repro.analysis.simrace src/
+	$(PYTHON) -m repro.analysis.simflow src/
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/; \
 	else \
 		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
 	fi
+
+# Address-space & unit flow analysis alone (also part of `make lint`).
+flow:
+	$(PYTHON) -m repro.analysis.simflow src/
 
 # Dynamic half of simrace: perturb DES schedules on the tiny OLTP config
 # and fail on any undocumented schedule-dependent stat.

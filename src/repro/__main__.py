@@ -7,6 +7,7 @@ Usage::
     python -m repro run ablations
     python -m repro all [output.md]     # everything -> EXPERIMENTS.md
     python -m repro race [--seeds N]    # schedule-perturbation check
+    python -m repro analyze [paths]     # simlint + simrace + simflow
 """
 
 from __future__ import annotations
@@ -92,6 +93,12 @@ def main(argv=None) -> int:
         default=5,
         help="perturbed schedules per system/scheme (default 5)",
     )
+    from repro.analysis import analyze
+
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="run simlint + simrace + simflow and merge the findings"
+    )
+    analyze.configure_parser(analyze_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -105,6 +112,8 @@ def main(argv=None) -> int:
         from repro.experiments.race_check import run_race_check
 
         return run_race_check(seeds=args.seeds)
+    if args.command == "analyze":
+        return analyze.run(args)
     if args.command == "all":
         from repro.experiments.run_all import generate
 
@@ -117,4 +126,7 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

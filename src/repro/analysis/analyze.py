@@ -1,0 +1,139 @@
+"""Umbrella runner: simlint + simrace + simflow in one pass.
+
+``python -m repro analyze [paths]`` runs all three static-analysis
+families over the same file set and merges their findings into a single
+report (or, with ``--json``, a single findings document in the shared
+schema of :mod:`repro.analysis.findings`, with each finding carrying a
+``tool`` field).  Exit status is 1 when any tool found anything.
+
+The merged document is also a valid ``--baseline`` snapshot: rule codes
+are disjoint across tools (SL/SR/SF), so one baseline file can cover all
+three analyses at once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import (
+    SCHEMA_VERSION,
+    Violation,
+    add_baseline_arguments,
+    filter_baseline,
+    iter_python_files,
+    load_baseline,
+)
+from repro.analysis.simflow.engine import analyze_file as _flow_file
+from repro.analysis.simlint.engine import lint_file as _lint_file
+from repro.analysis.simrace.engine import analyze_file as _race_file
+
+#: The analysis families the umbrella runs, in report order.
+TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
+    ("simlint", _lint_file),
+    ("simrace", _race_file),
+    ("simflow", _flow_file),
+)
+
+
+def run_all(paths: Sequence[str]) -> Tuple[Dict[str, List[Violation]], int]:
+    """Run every tool over ``paths``; returns (per-tool findings, #files)."""
+    files = iter_python_files(paths)
+    per_tool: Dict[str, List[Violation]] = {}
+    for tool, analyze in TOOLS:
+        violations: List[Violation] = []
+        for path in files:
+            violations.extend(analyze(path))
+        per_tool[tool] = violations
+    return per_tool, len(files)
+
+
+def merged_document(
+    per_tool: Dict[str, List[Violation]], files_checked: int
+) -> Dict[str, object]:
+    """The merged findings document (shared schema + per-finding ``tool``)."""
+    findings: List[Dict[str, object]] = []
+    for tool, violations in per_tool.items():
+        for violation in violations:
+            entry: Dict[str, object] = asdict(violation)
+            entry["tool"] = tool
+            findings.append(entry)
+    findings.sort(key=lambda f: (f["path"], f["line"], f["col"], f["code"]))
+    return {
+        "tool": "analyze",
+        "schema_version": SCHEMA_VERSION,
+        "count": len(findings),
+        "files_checked": files_checked,
+        "by_tool": {tool: len(per_tool[tool]) for tool, _ in TOOLS},
+        "findings": findings,
+    }
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged findings document as JSON",
+    )
+    add_baseline_arguments(parser)
+
+
+def run(args: argparse.Namespace) -> int:
+    per_tool, files_checked = run_all(args.paths)
+
+    if getattr(args, "write_baseline", None):
+        document = merged_document(per_tool, files_checked)
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"analyze: wrote baseline with {document['count']} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+    if getattr(args, "baseline", None):
+        keys = load_baseline(args.baseline)
+        per_tool = {
+            tool: filter_baseline(violations, keys)
+            for tool, violations in per_tool.items()
+        }
+
+    total = sum(len(v) for v in per_tool.values())
+    if args.json:
+        print(json.dumps(merged_document(per_tool, files_checked), indent=2, sort_keys=True))
+        return 1 if total else 0
+
+    for tool, _ in TOOLS:
+        for violation in per_tool[tool]:
+            print(f"{tool}: {violation.format()}")
+    summary = ", ".join(f"{tool}: {len(per_tool[tool])}" for tool, _ in TOOLS)
+    if total:
+        print(f"\nanalyze: {total} violation(s) in {files_checked} file(s) ({summary})")
+        return 1
+    print(f"analyze: {files_checked} file(s) clean across {len(TOOLS)} tools")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.analyze",
+        description="Run simlint + simrace + simflow and merge their findings.",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -13,6 +13,15 @@ without caring which produced it:
 * :func:`parse_suppressions` — per-line ``# <tool>: disable=CODE``
   comment parsing; both tools use identical suppression syntax.
 * :func:`iter_python_files` — file/directory expansion for the CLIs.
+* :func:`load_baseline` / :func:`write_baseline` /
+  :func:`filter_baseline` — ``--baseline`` support: snapshot the
+  current findings and report only ones not in the snapshot, so a new
+  rule can land without a suppress-everything commit.
+
+A baseline file is simply a findings JSON document (the exact output of
+``--json`` / ``--write-baseline``), matched on ``(path, code, message)``
+— line numbers are excluded so unrelated edits don't un-baseline a
+finding.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import json
 import re
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Version of the shared findings JSON schema; bump on breaking changes.
 SCHEMA_VERSION = 1
@@ -93,3 +102,89 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
         elif path.suffix == ".py":
             out.append(path)
     return out
+
+
+# --------------------------------------------------------------------------
+# Baselines: report only findings that are new relative to a snapshot
+# --------------------------------------------------------------------------
+
+#: A baseline identity for one finding; deliberately line-insensitive.
+BaselineKey = Tuple[str, str, str]
+
+
+def baseline_key(violation: Violation) -> BaselineKey:
+    return (violation.path, violation.code, violation.message)
+
+
+def load_baseline(path: str) -> Set[BaselineKey]:
+    """Load the set of baselined finding keys from a findings JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    keys: Set[BaselineKey] = set()
+    for finding in document.get("findings", []):
+        keys.add(
+            (
+                str(finding.get("path", "")),
+                str(finding.get("code", "")),
+                str(finding.get("message", "")),
+            )
+        )
+    return keys
+
+
+def write_baseline(
+    path: str,
+    tool: str,
+    violations: Sequence[Violation],
+    files_checked: Optional[int] = None,
+) -> None:
+    """Snapshot the current findings as a baseline file (findings JSON)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(findings_json(tool, violations, files_checked=files_checked))
+        handle.write("\n")
+
+
+def filter_baseline(
+    violations: Sequence[Violation], keys: Set[BaselineKey]
+) -> List[Violation]:
+    """Drop findings whose (path, code, message) appear in the baseline."""
+    return [v for v in violations if baseline_key(v) not in keys]
+
+
+def add_baseline_arguments(parser) -> None:
+    """Install the shared ``--baseline`` / ``--write-baseline`` options."""
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="report only findings not present in this baseline snapshot",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot the current findings to FILE (findings JSON) and exit 0",
+    )
+
+
+def apply_baseline(
+    args,
+    tool: str,
+    violations: List[Violation],
+    files_checked: Optional[int] = None,
+) -> "Tuple[List[Violation], Optional[int]]":
+    """Shared handling for the baseline options.
+
+    Returns ``(violations, exit_code)`` — ``exit_code`` is non-None when
+    the invocation is complete (``--write-baseline`` wrote its snapshot),
+    otherwise ``violations`` has been filtered against ``--baseline``
+    (when given) and the caller reports as usual.
+    """
+    if getattr(args, "write_baseline", None):
+        write_baseline(args.write_baseline, tool, violations, files_checked)
+        print(
+            f"{tool}: wrote baseline with {len(violations)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return violations, 0
+    if getattr(args, "baseline", None):
+        violations = filter_baseline(violations, load_baseline(args.baseline))
+    return violations, None

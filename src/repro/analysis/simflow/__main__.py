@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.analysis.simlint <paths>``.
+"""Command-line entry point: ``python -m repro.analysis.simflow <paths>``.
 
 Exits 1 when any violation is found, 0 on a clean tree.
 """
@@ -15,12 +15,12 @@ from repro.analysis.findings import (
     apply_baseline,
     findings_json,
 )
-from repro.analysis.simlint.engine import iter_python_files, lint_file
-from repro.analysis.simlint.rules import RULES
+from repro.analysis.simflow.engine import analyze_file, iter_python_files
+from repro.analysis.simflow.rules import RULES
 
 
 def _list_rules() -> str:
-    lines = ["simlint rule catalogue:", ""]
+    lines = ["simflow rule catalogue:", ""]
     for rule in RULES:
         scope = "sim scope only" if rule.sim_scope_only else "all files"
         lines.append(f"  {rule.code}  {rule.title}  [{scope}]")
@@ -30,18 +30,20 @@ def _list_rules() -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis.simlint",
-        description="Domain-specific static analysis for the FlatFlash simulator.",
+        prog="python -m repro.analysis.simflow",
+        description=(
+            "Address-space and unit flow analysis for the FlatFlash simulator."
+        ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (directories are walked for *.py)",
+        help="files or directories to analyze (directories are walked for *.py)",
     )
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run (default: all), e.g. SL001,SL003",
+        help="comma-separated rule codes to run (default: all), e.g. SF001,SF003",
     )
     parser.add_argument(
         "--list-rules",
@@ -51,7 +53,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="emit findings as JSON (shared simlint/simrace schema)",
+        help="emit findings as JSON (shared simlint/simrace/simflow schema)",
     )
     add_baseline_arguments(parser)
     args = parser.parse_args(argv)
@@ -60,12 +62,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_rules())
         return 0
     if not args.paths:
-        parser.error("no paths given (try: python -m repro.analysis.simlint src/)")
+        parser.error("no paths given (try: python -m repro.analysis.simflow src/)")
 
     select = None
     if args.select:
         select = [code.strip().upper() for code in args.select.split(",") if code.strip()]
-        known = {rule.code for rule in RULES} | {"SL000"}
+        known = {rule.code for rule in RULES} | {"SF000"}
         unknown = sorted(set(select) - known)
         if unknown:
             parser.error(
@@ -75,27 +77,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     files = iter_python_files(args.paths)
     if not files:
-        print("simlint: no Python files found under the given paths", file=sys.stderr)
+        print("simflow: no Python files found under the given paths", file=sys.stderr)
         return 0
 
     violations: List[Violation] = []
     for path in files:
-        violations.extend(lint_file(path, select=select))
+        violations.extend(analyze_file(path, select=select))
 
-    violations, done = apply_baseline(args, "simlint", violations, len(files))
+    violations, done = apply_baseline(args, "simflow", violations, len(files))
     if done is not None:
         return done
 
     if args.json:
-        print(findings_json("simlint", violations, files_checked=len(files)))
+        print(findings_json("simflow", violations, files_checked=len(files)))
         return 1 if violations else 0
 
     for violation in violations:
         print(violation.format())
     if violations:
-        print(f"\nsimlint: {len(violations)} violation(s) in {len(files)} file(s)")
+        print(f"\nsimflow: {len(violations)} violation(s) in {len(files)} file(s)")
         return 1
-    print(f"simlint: {len(files)} file(s) clean")
+    print(f"simflow: {len(files)} file(s) clean")
     return 0
 
 

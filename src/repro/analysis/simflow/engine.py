@@ -1,0 +1,121 @@
+"""simflow engine: file walking, suppression handling, checker dispatch.
+
+Mirrors the simlint engine: parse each file once, compute the per-line
+``# simflow: disable=SF001`` suppression table, decide sim scope, and
+run the flow checker (:func:`repro.analysis.simflow.model.check_module`)
+over it.  All SF rules are sim-scope-only — the address-domain
+discipline they police applies to the simulator layers, not to
+experiment scripts tabulating results.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.findings import (
+    ALL_CODES,
+    Violation,
+    iter_python_files as _iter_python_files,
+    parse_suppressions,
+)
+from repro.analysis.simflow.model import check_module
+
+#: Same simulation scope as simlint/simrace.
+SIM_SCOPE_DIRS = {"sim", "ssd", "host", "core", "interconnect"}
+
+
+class FileContext:
+    """Suppression table + scope decision for one file under analysis."""
+
+    def __init__(self, path: str, source: str, sim_scope: Optional[bool] = None):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.suppressions = self._parse_suppressions(self.lines)
+        if sim_scope is None:
+            sim_scope = infer_sim_scope(path)
+        self.sim_scope = sim_scope
+
+    @staticmethod
+    def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+        return parse_suppressions(lines, "simflow")
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return ALL_CODES in codes or code in codes
+
+
+def infer_sim_scope(path: str) -> bool:
+    """A file is in simulation scope when it lives under ``repro/<dir>/``
+    for one of the :data:`SIM_SCOPE_DIRS` layers."""
+    parts = Path(path).parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro" and parts[index + 1] in SIM_SCOPE_DIRS:
+            return True
+    return False
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    sim_scope: Optional[bool] = None,
+) -> List[Violation]:
+    """Analyze one source string; returns violations sorted by location."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        col = (error.offset or 1) - 1
+        return [Violation(path, line, col, "SF000", f"syntax error: {error.msg}")]
+
+    context = FileContext(path, source, sim_scope=sim_scope)
+    if not context.sim_scope:
+        return []
+
+    wanted = None if select is None else {code.upper() for code in select}
+    violations: List[Violation] = []
+    seen: Set[tuple] = set()
+
+    def report(code: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if wanted is not None and code not in wanted:
+            return
+        if context.suppressed(line, code):
+            return
+        key = (line, col, code, message)
+        if key in seen:
+            return
+        seen.add(key)
+        violations.append(Violation(path, line, col, code, message))
+
+    check_module(tree, report)
+    violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return violations
+
+
+def analyze_file(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(source, path=str(path), select=select)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    return _iter_python_files(paths)
+
+
+def analyze_paths(
+    paths: Iterable[str], select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Analyze every Python file under the given paths."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(analyze_file(path, select=select))
+    return violations

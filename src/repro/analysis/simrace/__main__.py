@@ -10,7 +10,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.findings import Violation, findings_json
+from repro.analysis.findings import (
+    Violation,
+    add_baseline_arguments,
+    apply_baseline,
+    findings_json,
+)
 from repro.analysis.simrace.engine import analyze_file, iter_python_files
 from repro.analysis.simrace.rules import RULES
 
@@ -48,6 +53,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="emit findings as JSON (shared simlint/simrace schema)",
     )
+    add_baseline_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -74,6 +80,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     violations: List[Violation] = []
     for path in files:
         violations.extend(analyze_file(path, select=select))
+
+    violations, done = apply_baseline(args, "simrace", violations, len(files))
+    if done is not None:
+        return done
 
     if args.json:
         print(findings_json("simrace", violations, files_checked=len(files)))

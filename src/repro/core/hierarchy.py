@@ -33,6 +33,7 @@ from repro.host.dram import Frame, HostDRAM
 from repro.host.page_table import Domain, PageTableEntry
 from repro.host.plb import PLBEntry
 from repro.ssd.device import ByteAddressableSSD
+from repro.units import LPN, VPN, HostPage, OffsetBytes, TimeNs
 
 
 class _InFlightPromotion:
@@ -42,14 +43,14 @@ class _InFlightPromotion:
 
     def __init__(
         self,
-        vpn: int,
-        lpn: int,
-        ssd_tag: int,
+        vpn: VPN,
+        lpn: LPN,
+        ssd_tag: HostPage,
         frame: Frame,
         plb_entry: PLBEntry,
         snapshot: Optional[bytes],
         was_dirty: bool,
-        started_ns: int,
+        started_ns: TimeNs,
     ) -> None:
         self.vpn = vpn
         self.lpn = lpn
@@ -101,11 +102,11 @@ class FlatFlash(MemorySystem):
             self.ssd.promotion_manager = promotion_manager
 
         # In-flight promotions, keyed by the page's host-visible SSD tag.
-        self._in_flight: Dict[int, _InFlightPromotion] = {}
+        self._in_flight: Dict[HostPage, _InFlightPromotion] = {}
         # Frames pinned as promotion destinations (not evictable).
         self._pinned_frames: set = set()
         # Reverse map for lazy GC remap propagation.
-        self._ssd_page_to_vpn: Dict[int, int] = {}
+        self._ssd_page_to_vpn: Dict[HostPage, VPN] = {}
 
         self._pages_in = self.stats.counter("mem.pages_in")
         self._pages_out = self.stats.counter("mem.pages_out")
@@ -121,7 +122,7 @@ class FlatFlash(MemorySystem):
     # Mapping
     # ------------------------------------------------------------------ #
 
-    def _map_page(self, vpn: int, lpn: int, persist: bool) -> None:
+    def _map_page(self, vpn: VPN, lpn: LPN, persist: bool) -> None:
         ssd_page, cost = self.ssd.map_page(lpn)
         self._background_ns.add(cost)  # first-touch backing, not on access path
         pte = self.page_table.entry(vpn)
@@ -129,7 +130,7 @@ class FlatFlash(MemorySystem):
         pte.persist = persist
         self._ssd_page_to_vpn[ssd_page] = vpn
 
-    def _unmap_page(self, vpn: int) -> None:
+    def _unmap_page(self, vpn: VPN) -> None:
         self.quiesce()  # settle in-flight promotions before tearing down
         pte = self.page_table.lookup(vpn)
         if pte is None:
@@ -147,7 +148,7 @@ class FlatFlash(MemorySystem):
     # ------------------------------------------------------------------ #
 
     def _access_page(
-        self, vpn: int, offset: int, size: int, is_write: bool, data: Optional[bytes]
+        self, vpn: VPN, offset: OffsetBytes, size: int, is_write: bool, data: Optional[bytes]
     ) -> AccessResult:
         self._settle_promotions()
         self._drain_remaps()
@@ -163,7 +164,7 @@ class FlatFlash(MemorySystem):
     def _dram_access(
         self,
         pte: PageTableEntry,
-        offset: int,
+        offset: OffsetBytes,
         size: int,
         is_write: bool,
         data: Optional[bytes],
@@ -180,7 +181,7 @@ class FlatFlash(MemorySystem):
     def _ssd_access(
         self,
         pte: PageTableEntry,
-        offset: int,
+        offset: OffsetBytes,
         size: int,
         is_write: bool,
         data: Optional[bytes],
@@ -222,8 +223,8 @@ class FlatFlash(MemorySystem):
 
     def _cacheable_hit(
         self,
-        ssd_page: int,
-        offset: int,
+        ssd_page: HostPage,
+        offset: OffsetBytes,
         size: int,
         is_write: bool,
         data: Optional[bytes],
@@ -251,7 +252,7 @@ class FlatFlash(MemorySystem):
     # PLB-mediated accesses during an in-flight promotion (Fig. 4)
     # ------------------------------------------------------------------ #
 
-    def _line_range(self, offset: int, size: int) -> range:
+    def _line_range(self, offset: OffsetBytes, size: int) -> range:
         line_size = self.config.geometry.cacheline_size
         first = offset // line_size
         last = (offset + size - 1) // line_size
@@ -280,7 +281,7 @@ class FlatFlash(MemorySystem):
     def _plb_access(
         self,
         flight: _InFlightPromotion,
-        offset: int,
+        offset: OffsetBytes,
         size: int,
         is_write: bool,
         data: Optional[bytes],
@@ -341,14 +342,14 @@ class FlatFlash(MemorySystem):
     # Promotion lifecycle
     # ------------------------------------------------------------------ #
 
-    def _start_pending_promotions(self) -> int:
+    def _start_pending_promotions(self) -> TimeNs:
         """Launch queued promotions; returns stall time (PLB-disabled mode)."""
         stall_ns = 0
         for lpn in self.promotion.take_candidates():
             stall_ns += self._start_promotion(lpn)
         return stall_ns
 
-    def _start_promotion(self, lpn: int) -> int:
+    def _start_promotion(self, lpn: LPN) -> TimeNs:
         """Kick off one promotion; returns the stall charged to the access
         (nonzero only in the PLB-disabled ablation)."""
         ssd_page = self.ssd.host_page_of(lpn)
@@ -379,7 +380,7 @@ class FlatFlash(MemorySystem):
         self._emit("promotion_start", vpn=vpn, ssd_page=ssd_page, frame=frame.index)
         return 0
 
-    def _detect_stream(self, vpn: int) -> None:
+    def _detect_stream(self, vpn: VPN) -> None:
         """Sequential-prefetch extension: after N pages in ascending order,
         promote the page ahead of the stream before it is touched."""
         if vpn == self._last_vpn:
@@ -410,7 +411,7 @@ class FlatFlash(MemorySystem):
         if self._promotions.value > before:
             self._prefetches.add()
 
-    def _promote_stalling(self, vpn: int, ssd_page: int) -> int:
+    def _promote_stalling(self, vpn: VPN, ssd_page: HostPage) -> TimeNs:
         """PLB-disabled ablation: promote synchronously.  Returns the stall
         (page copy + PTE/TLB update) charged to the triggering access."""
         frame = self._obtain_frame(vpn)
@@ -474,7 +475,7 @@ class FlatFlash(MemorySystem):
     # Eviction (LRU page back to the SSD)
     # ------------------------------------------------------------------ #
 
-    def _obtain_frame(self, vpn: int) -> Optional[Frame]:
+    def _obtain_frame(self, vpn: VPN) -> Optional[Frame]:
         frame = self.dram.allocate(vpn)
         if frame is not None:
             return frame

@@ -26,6 +26,7 @@ from repro.host.tlb import TLB
 from repro.sim.clock import SimClock
 from repro.sim.sanitizers import ClockSanitizer
 from repro.sim.stats import StatRegistry
+from repro.units import LPN, VPN, OffsetBytes, TimeNs
 
 
 class AccessResult:
@@ -58,7 +59,7 @@ class MappedRegion:
     __slots__ = ("base_vpn", "num_pages", "page_size", "persist", "name")
 
     def __init__(
-        self, base_vpn: int, num_pages: int, page_size: int, persist: bool, name: str
+        self, base_vpn: VPN, num_pages: int, page_size: int, persist: bool, name: str
     ) -> None:
         self.base_vpn = base_vpn
         self.num_pages = num_pages
@@ -112,7 +113,7 @@ class MemorySystem(abc.ABC):
         )
         self.regions: List[MappedRegion] = []
         self._next_vpn = 0
-        self._vpn_to_lpn: Dict[int, int] = {}
+        self._vpn_to_lpn: Dict[VPN, LPN] = {}
         self._loads = self.stats.counter("mem.loads")
         self._stores = self.stats.counter("mem.stores")
         self._access_latency = self.stats.latency("mem.access", keep_samples=False)
@@ -135,7 +136,10 @@ class MemorySystem(abc.ABC):
         region = MappedRegion(self._next_vpn, num_pages, self.page_size, persist, name)
         for page in range(num_pages):
             vpn = region.base_vpn + page
-            lpn = vpn  # regions tile the SSD's logical space linearly
+            # Regions tile the SSD's logical space linearly: the lpn is
+            # numerically the vpn, but it lives in the SSD's address domain
+            # — the cast is the sanctioned host→ssd translation.
+            lpn = LPN(vpn)
             self._vpn_to_lpn[vpn] = lpn
             self._map_page(vpn, lpn, persist)
         self._next_vpn += num_pages
@@ -143,7 +147,7 @@ class MemorySystem(abc.ABC):
         return region
 
     @abc.abstractmethod
-    def _map_page(self, vpn: int, lpn: int, persist: bool) -> None:
+    def _map_page(self, vpn: VPN, lpn: LPN, persist: bool) -> None:
         """Create the initial PTE for one page of a new region."""
 
     def munmap(self, region: MappedRegion) -> None:
@@ -163,10 +167,10 @@ class MemorySystem(abc.ABC):
         self._background_ns.add(self.tlb.batch_invalidate(vpns))
         self.regions.remove(region)
 
-    def _unmap_page(self, vpn: int) -> None:
+    def _unmap_page(self, vpn: VPN) -> None:
         """Release one page's backing resources (subclass hook)."""
 
-    def lpn_of_vpn(self, vpn: int) -> int:
+    def lpn_of_vpn(self, vpn: VPN) -> LPN:
         try:
             return self._vpn_to_lpn[vpn]
         except KeyError:
@@ -234,7 +238,7 @@ class MemorySystem(abc.ABC):
 
     @abc.abstractmethod
     def _access_page(
-        self, vpn: int, offset: int, size: int, is_write: bool, data: Optional[bytes]
+        self, vpn: VPN, offset: OffsetBytes, size: int, is_write: bool, data: Optional[bytes]
     ) -> AccessResult:
         """One load/store confined to page ``vpn``."""
 
@@ -291,11 +295,11 @@ class MemorySystem(abc.ABC):
     # Explicit time charging (used by apps for non-memory work)
     # ------------------------------------------------------------------ #
 
-    def charge_foreground(self, ns: int) -> None:
+    def charge_foreground(self, ns: TimeNs) -> None:
         """Advance the clock for work on the critical path (I/O, compute)."""
         self.clock.advance(ns)
 
-    def charge_background(self, ns: int) -> None:
+    def charge_background(self, ns: TimeNs) -> None:
         """Account work that does not stall the application."""
         self._background_ns.add(ns)
 

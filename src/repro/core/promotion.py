@@ -25,6 +25,7 @@ from collections import deque
 from repro.config import PromotionConfig
 from repro.sim.stats import StatRegistry
 from repro.ssd.ssd_cache import CacheEntry
+from repro.units import LPN
 
 
 class AdaptivePromotionPolicy:
@@ -103,7 +104,7 @@ class PromotionManager:
         if policy is None:
             policy = AdaptivePromotionPolicy(config if config is not None else PromotionConfig())
         self.policy = policy
-        self._candidates: Deque[int] = deque()
+        self._candidates: Deque[LPN] = deque()
         self._queued: set = set()
         self.stats = stats if stats is not None else StatRegistry()
         self._promote_signals = self.stats.counter("promotion.signals")
@@ -117,7 +118,7 @@ class PromotionManager:
     def adjust_cnt(self, entry: CacheEntry) -> None:
         self.policy.adjust_cnt(entry)
 
-    def take_candidates(self) -> List[int]:
+    def take_candidates(self) -> List[LPN]:
         """Drain queued promotion candidates (lpns), oldest first."""
         drained = list(self._candidates)
         self._candidates.clear()

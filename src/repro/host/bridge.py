@@ -19,6 +19,7 @@ from repro.host.plb import PLB
 from repro.interconnect.pcie import BarWindow
 from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
+from repro.units import PFN, HostPage, OffsetBytes
 
 #: Bit position used to prefix physical addresses with the Persist flag.
 PERSIST_BIT_SHIFT = 62
@@ -105,14 +106,14 @@ class HostBridge:
             return "ssd", offset // self.page_size, offset % self.page_size, persist
         raise ValueError(f"physical address {phys_addr:#x} maps to no device")
 
-    def dram_addr(self, frame_index: int, offset: int = 0) -> int:
+    def dram_addr(self, frame_index: PFN, offset: OffsetBytes = 0) -> int:
         """Host physical address of a DRAM frame byte."""
         addr = frame_index * self.page_size + offset
         if addr >= self.dram_bytes:
             raise ValueError(f"frame {frame_index} outside DRAM")
         return addr
 
-    def ssd_addr(self, device_page: int, offset: int = 0) -> int:
+    def ssd_addr(self, device_page: HostPage, offset: OffsetBytes = 0) -> int:
         """Host physical address of a byte in the SSD BAR window."""
         addr = self.ssd_bar.base + device_page * self.page_size + offset
         if not self.ssd_bar.contains(addr):

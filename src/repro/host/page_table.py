@@ -17,7 +17,9 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Tuple
 
+from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
+from repro.units import PFN, VPN, HostPage, TimeNs
 
 
 class Domain(enum.Enum):
@@ -32,20 +34,20 @@ class PageTableEntry:
 
     __slots__ = ("vpn", "present", "domain", "frame_index", "ssd_page", "persist")
 
-    def __init__(self, vpn: int) -> None:
+    def __init__(self, vpn: VPN) -> None:
         self.vpn = vpn
         self.present = False
         self.domain = Domain.SSD
-        self.frame_index: Optional[int] = None
-        self.ssd_page: Optional[int] = None
+        self.frame_index: Optional[PFN] = None
+        self.ssd_page: Optional[HostPage] = None
         self.persist = False
 
-    def point_to_dram(self, frame_index: int) -> None:
+    def point_to_dram(self, frame_index: PFN) -> None:
         self.domain = Domain.DRAM
         self.frame_index = frame_index
         self.present = True
 
-    def point_to_ssd(self, ssd_page: int, present: bool) -> None:
+    def point_to_ssd(self, ssd_page: HostPage, present: bool) -> None:
         """Point at an SSD page.  ``present`` is True for byte-addressable
         systems (direct access) and False for paging baselines (faults)."""
         self.domain = Domain.SSD
@@ -68,7 +70,7 @@ class PageTableEntry:
 class PageFault(Exception):
     """Raised on access to a non-present page (paging baselines)."""
 
-    def __init__(self, vpn: int) -> None:
+    def __init__(self, vpn: VPN) -> None:
         super().__init__(f"page fault on vpn {vpn}")
         self.vpn = vpn
 
@@ -76,39 +78,41 @@ class PageFault(Exception):
 class PageTable:
     """vpn -> PTE mapping with walk-cost accounting."""
 
-    def __init__(self, walk_cost_ns: int, stats: Optional[StatRegistry] = None) -> None:
+    def __init__(self, walk_cost_ns: TimeNs, stats: Optional[StatRegistry] = None) -> None:
         if walk_cost_ns < 0:
             raise ValueError(f"walk_cost_ns must be >= 0, got {walk_cost_ns}")
         self.walk_cost_ns = walk_cost_ns
-        self._entries: Dict[int, PageTableEntry] = {}
+        self._entries: Dict[VPN, PageTableEntry] = {}
         self.stats = stats if stats is not None else StatRegistry()
         self._walks = self.stats.counter("page_table.walks")
 
-    def entry(self, vpn: int) -> PageTableEntry:
+    def entry(self, vpn: VPN) -> PageTableEntry:
         """The PTE for ``vpn``, created on first reference."""
+        domain_tags.check(vpn, "VPN", "PageTable.entry")
         pte = self._entries.get(vpn)
         if pte is None:
             pte = PageTableEntry(vpn)
             self._entries[vpn] = pte
         return pte
 
-    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+    def lookup(self, vpn: VPN) -> Optional[PageTableEntry]:
         """The PTE if it exists, without creating one."""
         return self._entries.get(vpn)
 
-    def walk(self, vpn: int) -> Tuple[PageTableEntry, int]:
+    def walk(self, vpn: VPN) -> Tuple[PageTableEntry, TimeNs]:
         """A hardware page-table walk: returns (PTE, cost in ns)."""
+        domain_tags.check(vpn, "VPN", "PageTable.walk")
         self._walks.add()
         pte = self._entries.get(vpn)
         if pte is None:
             raise KeyError(f"vpn {vpn} has no mapping (unmapped address)")
         return pte, self.walk_cost_ns
 
-    def remove(self, vpn: int) -> Optional[PageTableEntry]:
+    def remove(self, vpn: VPN) -> Optional[PageTableEntry]:
         """Drop a mapping (munmap); returns the removed PTE if it existed."""
         return self._entries.pop(vpn, None)
 
-    def mapped_vpns(self) -> Dict[int, PageTableEntry]:
+    def mapped_vpns(self) -> Dict[VPN, PageTableEntry]:
         return dict(self._entries)
 
     def __len__(self) -> int:

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
+from repro.units import PFN, HostPage, TimeNs
 
 
 class PLBEntry:
@@ -33,7 +35,9 @@ class PLBEntry:
 
     __slots__ = ("ssd_tag", "mem_tag", "copied", "inbound_pos", "complete_at_ns")
 
-    def __init__(self, ssd_tag: int, mem_tag: int, num_lines: int, complete_at_ns: int) -> None:
+    def __init__(
+        self, ssd_tag: HostPage, mem_tag: PFN, num_lines: int, complete_at_ns: TimeNs
+    ) -> None:
         self.ssd_tag = ssd_tag  # source: host-visible SSD page number
         self.mem_tag = mem_tag  # destination: DRAM frame index
         self.copied: List[bool] = [False] * num_lines
@@ -59,7 +63,7 @@ class PLB:
         if entries <= 0:
             raise ValueError(f"PLB must have > 0 entries, got {entries}")
         self.capacity = entries
-        self._by_ssd_tag: Dict[int, PLBEntry] = {}
+        self._by_ssd_tag: Dict[HostPage, PLBEntry] = {}
         self.stats = stats if stats is not None else StatRegistry()
         self._started = self.stats.counter("plb.promotions_started")
         self._dropped = self.stats.counter("plb.inbound_lines_dropped")
@@ -74,9 +78,11 @@ class PLB:
         return len(self._by_ssd_tag) < self.capacity
 
     def start(
-        self, ssd_tag: int, mem_tag: int, num_lines: int, complete_at_ns: int
+        self, ssd_tag: HostPage, mem_tag: PFN, num_lines: int, complete_at_ns: TimeNs
     ) -> Optional[PLBEntry]:
         """Begin tracking a promotion; None when the table is full."""
+        domain_tags.check(ssd_tag, "HOST_PAGE", "PLB.start")
+        domain_tags.check(mem_tag, "PFN", "PLB.start")
         if ssd_tag in self._by_ssd_tag:
             raise ValueError(f"promotion of SSD page {ssd_tag} already in flight")
         if not self.has_free_entry:
@@ -86,7 +92,7 @@ class PLB:
         self._started.add()
         return entry
 
-    def lookup(self, ssd_tag: int) -> Optional[PLBEntry]:
+    def lookup(self, ssd_tag: HostPage) -> Optional[PLBEntry]:
         """CAM lookup by SSD page (one cycle: no cost charged)."""
         return self._by_ssd_tag.get(ssd_tag)
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
+from repro.units import VPN, TimeNs
 
 
 class TLB:
@@ -25,7 +27,7 @@ class TLB:
     def __init__(
         self,
         entries: int,
-        shootdown_cost_ns: int,
+        shootdown_cost_ns: TimeNs,
         stats: Optional[StatRegistry] = None,
     ) -> None:
         if entries <= 0:
@@ -34,13 +36,13 @@ class TLB:
             raise ValueError(f"shootdown cost must be >= 0, got {shootdown_cost_ns}")
         self.capacity = entries
         self.shootdown_cost_ns = shootdown_cost_ns
-        self._cached: "OrderedDict[int, None]" = OrderedDict()
+        self._cached: "OrderedDict[VPN, None]" = OrderedDict()
         self.stats = stats if stats is not None else StatRegistry()
         self._hits = self.stats.ratio("tlb.hits")
         self._shootdowns = self.stats.counter("tlb.shootdowns")
         self._batch_updates = self.stats.counter("tlb.batch_updates")
 
-    def lookup(self, vpn: int) -> bool:
+    def lookup(self, vpn: VPN) -> bool:
         """True on a TLB hit; hit entries become most-recently used."""
         if vpn in self._cached:
             self._cached.move_to_end(vpn)
@@ -49,8 +51,9 @@ class TLB:
         self._hits.record(False)
         return False
 
-    def fill(self, vpn: int) -> None:
+    def fill(self, vpn: VPN) -> None:
         """Install a translation after a walk, evicting LRU if full."""
+        domain_tags.check(vpn, "VPN", "TLB.fill")
         if vpn in self._cached:
             self._cached.move_to_end(vpn)
             return
@@ -58,13 +61,13 @@ class TLB:
             self._cached.popitem(last=False)
         self._cached[vpn] = None
 
-    def invalidate(self, vpn: int) -> int:
+    def invalidate(self, vpn: VPN) -> TimeNs:
         """Shoot down one translation; returns the cost in ns."""
         self._shootdowns.add()
         self._cached.pop(vpn, None)
         return self.shootdown_cost_ns
 
-    def batch_invalidate(self, vpns: Iterable[int]) -> int:
+    def batch_invalidate(self, vpns: Iterable[VPN]) -> TimeNs:
         """Lazily propagate a batch of address changes with one interrupt.
 
         Cost is a single shootdown regardless of batch size (§4's single-

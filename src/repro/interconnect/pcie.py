@@ -27,6 +27,7 @@ from typing import Optional
 from repro.config import LatencyConfig
 from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
+from repro.units import TimeNs
 
 
 class PCIeTransaction(enum.Enum):
@@ -98,7 +99,7 @@ class PCIeLink:
             raise ValueError(f"transfer size must be > 0, got {size}")
         return -(-size // self.cacheline_size)  # ceiling division
 
-    def mmio_read_cost(self, size: int) -> int:
+    def mmio_read_cost(self, size: int) -> TimeNs:
         """Cost of a non-posted MMIO read of ``size`` bytes."""
         lines = self._cachelines(size)
         self._reads.add(lines)
@@ -107,7 +108,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
 
-    def mmio_write_cost(self, size: int) -> int:
+    def mmio_write_cost(self, size: int) -> TimeNs:
         """Cost of a posted MMIO write of ``size`` bytes."""
         lines = self._cachelines(size)
         self._writes.add(lines)
@@ -116,7 +117,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_posted_tlp(lines)
         return lines * self.latency.mmio_write_cacheline_ns
 
-    def mmio_atomic_cost(self, size: int) -> int:
+    def mmio_atomic_cost(self, size: int) -> TimeNs:
         """Cost of a PCIe atomic (round trip: behaves like a read)."""
         lines = self._cachelines(size)
         self._atomics.add(1)
@@ -126,7 +127,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
 
-    def verify_read_cost(self) -> int:
+    def verify_read_cost(self) -> TimeNs:
         """Cost of the write-verify read flushing posted writes (§3.5)."""
         self._reads.add(1)
         self._bytes_from_device.add(self.cacheline_size)
@@ -134,7 +135,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_ordering_read()
         return self.latency.mmio_verify_read_ns
 
-    def dma_to_host_cost(self, size: int) -> int:
+    def dma_to_host_cost(self, size: int) -> TimeNs:
         """Cost of a device-initiated DMA into host DRAM (page promotion)."""
         pages = self._cachelines(size) * self.cacheline_size
         self._dma_ops.add(1)
@@ -144,7 +145,7 @@ class PCIeLink:
         chunks = -(-pages // chunk)
         return chunks * self.latency.dma_page_transfer_ns
 
-    def dma_from_host_cost(self, size: int) -> int:
+    def dma_from_host_cost(self, size: int) -> TimeNs:
         """Cost of a DMA from host DRAM into the device (page write-back)."""
         self._dma_ops.add(1)
         self._bytes_to_device.add(size)

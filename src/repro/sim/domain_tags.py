@@ -1,0 +1,218 @@
+"""Shadow domain tags: the dynamic counterpart of ``repro.analysis.simflow``.
+
+FlatFlash moves page numbers between four address domains — virtual
+pages (vpn), host DRAM frames (pfn), device logical pages (lpn) and
+NAND physical pages (ppn) — and every one of them is a plain ``int``.
+The static pass (simflow) catches most cross-domain leaks at analysis
+time; this module catches the rest at run time, the same way the
+Eraser recorder in :mod:`repro.sim.race` backs up the simrace rules.
+
+When shadow tagging is enabled, the domain cast points in
+:mod:`repro.units` (``LPN(x)``, ``PPN(x)`` …) return :class:`TaggedInt`
+instances instead of bare ints.  A :class:`TaggedInt` behaves exactly
+like the int it wraps — hashing, dict keys, ``struct.pack``, JSON all
+see a plain integer — except that combining two tags from *different*
+domains in arithmetic or an ordering/equality comparison raises
+:class:`DomainTagError` at the mixing operation.  Consumers that
+require a specific domain guard their entry with :func:`check`.
+
+Tagging is process-wide and opt-in (mirroring
+``sanitizers.set_default_enabled``); the test suite switches it on in
+``tests/conftest.py`` so every experiment and unit test runs tagged.
+
+Tag algebra (chosen so legitimate address arithmetic stays quiet):
+
+* tagged ± plain int  -> keeps the tag (page + 1 is still a page)
+* tagged ± same tag   -> plain int (a *distance*, not an address)
+* tagged ± other tag  -> raises
+* ``*``, ``//``, ``%`` -> plain int (scaling leaves the domain), but
+  still raise when both operands are tagged with different domains
+* comparisons          -> plain bool; cross-domain raises
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "DomainTagError",
+    "TaggedInt",
+    "tag",
+    "check",
+    "domain_of",
+    "enabled",
+    "set_enabled",
+]
+
+
+class DomainTagError(RuntimeError):
+    """Two different address domains met without a sanctioned translation."""
+
+
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """Is shadow tagging currently on for this process?"""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> bool:
+    """Turn shadow tagging on/off process-wide; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    return previous
+
+
+class TaggedInt(int):
+    """An int carrying the address domain it belongs to.
+
+    Same-domain arithmetic yields plain ints (differences and sums of
+    two addresses are offsets, not addresses); tagged-with-plain keeps
+    the tag for ``+``/``-`` so neighbouring-page arithmetic stays
+    tagged through e.g. ``ppn + 1``.
+    """
+
+    def __new__(cls, value: int, domain: str) -> "TaggedInt":
+        self = super().__new__(cls, value)
+        self.domain = domain
+        return self
+
+    def __getnewargs__(self):  # keep pickle / copy.deepcopy working
+        return (int(self), self.domain)
+
+    def __repr__(self) -> str:
+        return f"{self.domain}({int(self)})"
+
+    def _reject_cross(self, other: Any, op: str) -> None:
+        if isinstance(other, TaggedInt) and other.domain != self.domain:
+            raise DomainTagError(
+                f"{op} mixes address domains {self.domain} and {other.domain}: "
+                f"{self!r} vs {other!r}; route the value through a registered "
+                f"translation (repro.units) instead"
+            )
+
+    # -- additive: plain operand keeps the tag, same-domain collapses --
+    def _add_like(self, other: Any, op: str, result: Any) -> Any:
+        self._reject_cross(other, op)
+        if result is NotImplemented:
+            return NotImplemented
+        if isinstance(other, TaggedInt):  # same domain: address - address
+            return int(result)
+        return TaggedInt(result, self.domain)
+
+    def __add__(self, other: Any) -> Any:
+        return self._add_like(other, "addition", int.__add__(self, other))
+
+    def __radd__(self, other: Any) -> Any:
+        return self._add_like(other, "addition", int.__radd__(self, other))
+
+    def __sub__(self, other: Any) -> Any:
+        return self._add_like(other, "subtraction", int.__sub__(self, other))
+
+    def __rsub__(self, other: Any) -> Any:
+        return self._add_like(other, "subtraction", int.__rsub__(self, other))
+
+    # -- scaling: result leaves the domain entirely --
+    def _scale_like(self, other: Any, op: str, result: Any) -> Any:
+        self._reject_cross(other, op)
+        return result
+
+    def __mul__(self, other: Any) -> Any:
+        return self._scale_like(other, "multiplication", int.__mul__(self, other))
+
+    def __rmul__(self, other: Any) -> Any:
+        return self._scale_like(other, "multiplication", int.__rmul__(self, other))
+
+    def __floordiv__(self, other: Any) -> Any:
+        return self._scale_like(other, "division", int.__floordiv__(self, other))
+
+    def __rfloordiv__(self, other: Any) -> Any:
+        return self._scale_like(other, "division", int.__rfloordiv__(self, other))
+
+    def __truediv__(self, other: Any) -> Any:
+        return self._scale_like(other, "division", int.__truediv__(self, other))
+
+    def __rtruediv__(self, other: Any) -> Any:
+        return self._scale_like(other, "division", int.__rtruediv__(self, other))
+
+    def __mod__(self, other: Any) -> Any:
+        return self._scale_like(other, "modulo", int.__mod__(self, other))
+
+    def __rmod__(self, other: Any) -> Any:
+        return self._scale_like(other, "modulo", int.__rmod__(self, other))
+
+    def __divmod__(self, other: Any) -> Any:
+        return self._scale_like(other, "divmod", int.__divmod__(self, other))
+
+    def __rdivmod__(self, other: Any) -> Any:
+        return self._scale_like(other, "divmod", int.__rdivmod__(self, other))
+
+    def __lshift__(self, other: Any) -> Any:
+        return self._scale_like(other, "shift", int.__lshift__(self, other))
+
+    def __rshift__(self, other: Any) -> Any:
+        return self._scale_like(other, "shift", int.__rshift__(self, other))
+
+    # -- comparisons: cross-domain ordering/equality is meaningless --
+    def __eq__(self, other: Any) -> bool:
+        self._reject_cross(other, "equality")
+        return int.__eq__(self, other)
+
+    def __ne__(self, other: Any) -> bool:
+        self._reject_cross(other, "equality")
+        return int.__ne__(self, other)
+
+    def __lt__(self, other: Any) -> bool:
+        self._reject_cross(other, "comparison")
+        return int.__lt__(self, other)
+
+    def __le__(self, other: Any) -> bool:
+        self._reject_cross(other, "comparison")
+        return int.__le__(self, other)
+
+    def __gt__(self, other: Any) -> bool:
+        self._reject_cross(other, "comparison")
+        return int.__gt__(self, other)
+
+    def __ge__(self, other: Any) -> bool:
+        self._reject_cross(other, "comparison")
+        return int.__ge__(self, other)
+
+    __hash__ = int.__hash__  # __eq__ override would otherwise drop it
+
+
+def tag(value: int, domain: str) -> int:
+    """Tag ``value`` with ``domain`` when tagging is enabled (else identity).
+
+    Re-tagging a value already tagged with another domain is *allowed*:
+    the cast points in :mod:`repro.units` are exactly the sanctioned
+    translation sites (e.g. the host/ssd page pun in merged-BAR mode),
+    so the cast is the permission slip.
+    """
+    if not _ENABLED:
+        return value
+    return TaggedInt(int(value), domain)
+
+
+def check(value: Any, domain: str, context: str = "") -> None:
+    """Raise if ``value`` carries a shadow tag from a different domain.
+
+    Untagged values always pass — tags only ever flow out of the
+    translation cast points, so a plain int carries no claim.
+    """
+    if not _ENABLED:
+        return
+    if isinstance(value, TaggedInt) and value.domain != domain:
+        where = f" in {context}" if context else ""
+        raise DomainTagError(
+            f"expected a {domain} value{where} but received {value!r}"
+        )
+
+
+def domain_of(value: Any) -> Optional[str]:
+    """The shadow domain of ``value``, or ``None`` for untagged values."""
+    if isinstance(value, TaggedInt):
+        return value.domain
+    return None

@@ -28,12 +28,14 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.config import FlatFlashConfig
 from repro.interconnect.pcie import BarWindow, PCIeLink
+from repro.sim import domain_tags
 from repro.sim.sanitizers import FlashSanitizer, PersistenceSanitizer
 from repro.sim.stats import StatRegistry
 from repro.ssd.flash import FlashArray
 from repro.ssd.ftl import PageFTL
 from repro.ssd.gc import GarbageCollector
 from repro.ssd.ssd_cache import CacheEntry, SSDCache
+from repro.units import LPN, PPN, HostPage, OffsetBytes, TimeNs
 
 #: Host physical base address of the SSD BAR window (1 TiB mark, far above DRAM).
 DEFAULT_BAR_BASE = 1 << 40
@@ -187,37 +189,50 @@ class ByteAddressableSSD:
             # time (the paper's GC handles write-back off the access path).
             self._pending_writeback_ns += self.gc.flush_entry(entry)
 
-    def resolve_lpn(self, host_page: int) -> int:
-        """Translate a host-visible device page number to its lpn."""
+    def resolve_lpn(self, host_page: HostPage) -> LPN:
+        """Translate a host-visible device page number to its lpn.
+
+        This is one of the two sanctioned address puns (with
+        :meth:`host_page_of`): in host-merged mode the BAR page number *is*
+        a flash ppn, in device-FTL mode it *is* the lpn.  The explicit
+        domain casts are the permission slip for that reinterpretation.
+        """
+        domain_tags.check(host_page, "HOST_PAGE", "ByteAddressableSSD.resolve_lpn")
         if self.host_merged_ftl:
-            ppn = self._remap.get(host_page, host_page)
+            # The pun proper: reinterpret the BAR page number as a flash
+            # ppn first, then chase any pending GC relocations (the remap
+            # table lives entirely in ppn space).
+            ppn = PPN(host_page)
+            ppn = self._remap.get(ppn, ppn)
             lpn = self.ftl.lpn_of(ppn)
             if lpn is None:
                 raise KeyError(f"host page {host_page} maps to no live flash page")
             return lpn
         if not 0 <= host_page < self.ftl.exported_pages:
             raise ValueError(f"logical page {host_page} out of range")
-        return host_page
+        return LPN(host_page)
 
-    def host_page_of(self, lpn: int) -> int:
-        """Current host-visible page number for an lpn."""
+    def host_page_of(self, lpn: LPN) -> HostPage:
+        """Current host-visible page number for an lpn (inverse pun)."""
+        domain_tags.check(lpn, "LPN", "ByteAddressableSSD.host_page_of")
         if self.host_merged_ftl:
-            return self.ftl.lookup(lpn)
-        return lpn
+            return HostPage(self.ftl.lookup(lpn))
+        return HostPage(lpn)
 
-    def map_page(self, lpn: int) -> Tuple[int, int]:
+    def map_page(self, lpn: LPN) -> Tuple[HostPage, TimeNs]:
         """Back ``lpn`` with flash; returns (host-visible page number, cost)."""
         ppn, cost = self.ftl.map_page(lpn)
-        return (ppn if self.host_merged_ftl else lpn), cost
+        return (HostPage(ppn) if self.host_merged_ftl else HostPage(lpn)), cost
 
-    def drain_remaps(self) -> Tuple[Dict[int, int], int]:
+    def drain_remaps(self) -> Tuple[Dict[HostPage, HostPage], TimeNs]:
         """Hand the host the pending GC remaps (lazy batch update, §4).
 
-        Returns (old_ppn -> new_ppn, cost of the single batched interrupt).
+        Returns (old page -> new page in host-visible numbering, cost of
+        the single batched interrupt).
         """
         if not self._remap:
             return {}, 0
-        updates = dict(self._remap)
+        updates = {HostPage(old): HostPage(new) for old, new in self._remap.items()}
         self._remap.clear()
         return updates, self.config.latency.pte_tlb_update_ns
 
@@ -231,7 +246,7 @@ class ByteAddressableSSD:
     # Byte interface (PCIe MMIO)
     # ------------------------------------------------------------------ #
 
-    def _ensure_cached(self, lpn: int) -> Tuple[CacheEntry, int, bool]:
+    def _ensure_cached(self, lpn: LPN) -> Tuple[CacheEntry, TimeNs, bool]:
         """Find or fill the cache entry for ``lpn``: (entry, cost, was_hit)."""
         entry = self.cache.lookup(lpn)
         if entry is not None:
@@ -243,7 +258,7 @@ class ByteAddressableSSD:
         self._fills.add()
         return entry, cost, False
 
-    def _check_span(self, offset: int, size: int) -> None:
+    def _check_span(self, offset: OffsetBytes, size: int) -> None:
         if offset < 0 or size <= 0 or offset + size > self.config.geometry.page_size:
             raise ValueError(
                 f"MMIO span [{offset}, {offset + size}) outside one "
@@ -251,7 +266,7 @@ class ByteAddressableSSD:
             )
 
     def mmio_read(
-        self, host_page: int, offset: int, size: int, persist: bool = False
+        self, host_page: HostPage, offset: OffsetBytes, size: int, persist: bool = False
     ) -> MMIOResult:
         """Serve a memory read of ``size`` bytes via PCIe MMIO (§3.2)."""
         self._check_span(offset, size)
@@ -268,8 +283,8 @@ class ByteAddressableSSD:
 
     def mmio_write(
         self,
-        host_page: int,
-        offset: int,
+        host_page: HostPage,
+        offset: OffsetBytes,
         size: int,
         data: Optional[bytes] = None,
         persist: bool = False,
@@ -303,7 +318,9 @@ class ByteAddressableSSD:
             self.promotion_manager.update(entry)
         return MMIOResult(cost, None, hit)
 
-    def peek_bytes(self, host_page: int, offset: int, size: int) -> Optional[bytes]:
+    def peek_bytes(
+        self, host_page: HostPage, offset: OffsetBytes, size: int
+    ) -> Optional[bytes]:
         """Zero-cost data peek for coherently cached lines (cacheable MMIO).
 
         Returns None when the page is not resident in the SSD-Cache or when
@@ -315,7 +332,7 @@ class ByteAddressableSSD:
             return None
         return bytes(entry.data[offset : offset + size])
 
-    def poke_bytes(self, host_page: int, offset: int, data: bytes) -> bool:
+    def poke_bytes(self, host_page: HostPage, offset: OffsetBytes, data: bytes) -> bool:
         """Zero-cost data write for coherently cached lines (cacheable MMIO).
 
         Returns False when the page is not resident in the SSD-Cache — the
@@ -330,7 +347,7 @@ class ByteAddressableSSD:
             entry.data[offset : offset + len(data)] = data
         return True
 
-    def mmio_atomic(self, host_page: int, offset: int, size: int) -> MMIOResult:
+    def mmio_atomic(self, host_page: HostPage, offset: OffsetBytes, size: int) -> MMIOResult:
         """A PCIe atomic (read-modify-write round trip) against the page."""
         lpn = self.resolve_lpn(host_page)
         entry, fill_cost, hit = self._ensure_cached(lpn)
@@ -339,7 +356,7 @@ class ByteAddressableSSD:
         self._durable_writes.add()
         return MMIOResult(cost, None, hit)
 
-    def verify_read(self) -> int:
+    def verify_read(self) -> TimeNs:
         """Write-verify read that flushes posted writes to the device (§3.5).
 
         Everything posted before this fence is now inside the battery-backed
@@ -355,7 +372,9 @@ class ByteAddressableSSD:
     # Block / page interface (DMA)
     # ------------------------------------------------------------------ #
 
-    def read_page_for_promotion(self, host_page: int) -> Tuple[Optional[bytes], bool, int]:
+    def read_page_for_promotion(
+        self, host_page: HostPage
+    ) -> Tuple[Optional[bytes], bool, TimeNs]:
         """Read a whole page for promotion to host DRAM.
 
         Returns (data, newest_copy_was_dirty, cost).  The SSD-Cache copy is
@@ -376,7 +395,7 @@ class ByteAddressableSSD:
         cost = flash_cost + self.pcie.dma_to_host_cost(self.config.geometry.page_size)
         return data, False, cost
 
-    def write_page(self, lpn: int, data: Optional[bytes]) -> Tuple[int, int]:
+    def write_page(self, lpn: LPN, data: Optional[bytes]) -> Tuple[HostPage, TimeNs]:
         """Page write-back (DRAM eviction / block write).
 
         Returns (new host-visible page number, cost).  Any cached copy is
@@ -387,7 +406,7 @@ class ByteAddressableSSD:
         _new_ppn, cost = self.ftl.write(lpn, data)
         return self.host_page_of(lpn), dma + cost
 
-    def read_page_block(self, lpn: int) -> Tuple[Optional[bytes], int]:
+    def read_page_block(self, lpn: LPN) -> Tuple[Optional[bytes], TimeNs]:
         """Block-interface page read (paging baselines).
 
         Device-FTL mode charges the FTL lookup; the freshest copy may be in
@@ -406,7 +425,7 @@ class ByteAddressableSSD:
         cost += flash_cost + self.pcie.dma_to_host_cost(self.config.geometry.page_size)
         return data, cost
 
-    def write_page_block(self, lpn: int, data: Optional[bytes]) -> int:
+    def write_page_block(self, lpn: LPN, data: Optional[bytes]) -> TimeNs:
         """Block-interface page write (paging baselines)."""
         cost = 0
         if not self.host_merged_ftl:
@@ -416,7 +435,7 @@ class ByteAddressableSSD:
         _new_ppn, write_cost = self.ftl.write(lpn, data)
         return cost + dma + write_cost
 
-    def trim(self, lpn: int) -> None:
+    def trim(self, lpn: LPN) -> None:
         """Discard a logical page: drop any cached copy and TRIM the FTL."""
         self.cache.invalidate(lpn)
         self.ftl.trim(lpn)
@@ -451,7 +470,7 @@ class ByteAddressableSSD:
             self.gc.flush_dirty()
         self.cache.clear()
 
-    def recover_read(self, lpn: int) -> Optional[bytes]:
+    def recover_read(self, lpn: LPN) -> Optional[bytes]:
         """Post-recovery read straight from flash (no cache, no timing)."""
         _ppn, data, _cost = self.ftl.read(lpn)
         return data

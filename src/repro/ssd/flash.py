@@ -16,8 +16,10 @@ import enum
 from typing import Dict, List, Optional
 
 from repro.config import LatencyConfig
+from repro.sim import domain_tags
 from repro.sim.sanitizers import FlashSanitizer
 from repro.sim.stats import StatRegistry
+from repro.units import PPN, BlockIndex
 
 
 class FlashPageState(enum.Enum):
@@ -81,7 +83,7 @@ class FlashArray:
         self.sanitizer = sanitizer
         if sanitizer is not None:
             sanitizer.attach(num_blocks, pages_per_block)
-        self._data: Dict[int, bytes] = {}
+        self._data: Dict[PPN, bytes] = {}
         self.stats = stats if stats is not None else StatRegistry()
         self._reads = self.stats.counter("flash.page_reads")
         self._programs = self.stats.counter("flash.page_programs")
@@ -91,25 +93,26 @@ class FlashArray:
     def total_pages(self) -> int:
         return self.num_blocks * self.pages_per_block
 
-    def _check_ppn(self, ppn: int) -> None:
+    def _check_ppn(self, ppn: PPN) -> None:
+        domain_tags.check(ppn, "PPN", "FlashArray")
         if not 0 <= ppn < self.total_pages:
             raise ValueError(f"ppn {ppn} out of range [0, {self.total_pages})")
 
-    def block_of(self, ppn: int) -> FlashBlock:
+    def block_of(self, ppn: PPN) -> FlashBlock:
         self._check_ppn(ppn)
         return self.blocks[ppn // self.pages_per_block]
 
-    def channel_of(self, ppn: int) -> int:
+    def channel_of(self, ppn: PPN) -> int:
         """The channel a page's operations occupy (blocks stripe across
         channels, the common SSD layout)."""
         self._check_ppn(ppn)
         return (ppn // self.pages_per_block) % self.num_channels
 
-    def state_of(self, ppn: int) -> FlashPageState:
+    def state_of(self, ppn: PPN) -> FlashPageState:
         block = self.block_of(ppn)
         return block.states[ppn % self.pages_per_block]
 
-    def read(self, ppn: int) -> "FlashOp":
+    def read(self, ppn: PPN) -> "FlashOp":
         """Read one page.  Reading erased/invalid pages is allowed (the FTL
         never does it, but raw tools may) and returns zeros."""
         self._check_ppn(ppn)
@@ -119,7 +122,7 @@ class FlashArray:
             data = self._data.get(ppn, b"\x00" * self.page_size)
         return FlashOp(self.latency.flash_read_page_ns, data)
 
-    def program(self, ppn: int, data: Optional[bytes] = None) -> "FlashOp":
+    def program(self, ppn: PPN, data: Optional[bytes] = None) -> "FlashOp":
         """Program one erased page.  Programming a non-erased page is a bug
         in the FTL and raises."""
         block = self.block_of(ppn)
@@ -139,7 +142,7 @@ class FlashArray:
             self._data[ppn] = bytes(data) if data is not None else b"\x00" * self.page_size
         return FlashOp(self.latency.flash_program_page_ns, None)
 
-    def invalidate(self, ppn: int) -> None:
+    def invalidate(self, ppn: PPN) -> None:
         """Mark a programmed page invalid (out-of-place overwrite)."""
         block = self.block_of(ppn)
         offset = ppn % self.pages_per_block
@@ -151,9 +154,10 @@ class FlashArray:
         if self.track_data:
             self._data.pop(ppn, None)
 
-    def erase(self, block_index: int) -> "FlashOp":
+    def erase(self, block_index: BlockIndex) -> "FlashOp":
         """Erase a whole block.  Erasing a block with valid pages raises —
         the GC must relocate them first."""
+        domain_tags.check(block_index, "BLOCK", "FlashArray.erase")
         if not 0 <= block_index < self.num_blocks:
             raise ValueError(f"block {block_index} out of range [0, {self.num_blocks})")
         block = self.blocks[block_index]

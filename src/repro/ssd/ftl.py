@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
 from repro.ssd.flash import FlashArray, FlashBlock, FlashPageState
+from repro.units import LPN, PPN, BlockIndex, TimeNs
 
 RelocateHook = Callable[[int, int, int], None]  # (lpn, old_ppn, new_ppn)
 
@@ -65,10 +67,10 @@ class PageFTL:
         if usable_blocks < 1:
             raise ValueError("flash array too small to over-provision")
         self.exported_pages = usable_blocks * flash.pages_per_block
-        self.mapping: Dict[int, int] = {}
-        self.reverse: Dict[int, int] = {}
-        self._free_blocks: List[int] = list(range(flash.num_blocks - 1, -1, -1))
-        self._frontier_block: Optional[int] = None
+        self.mapping: Dict[LPN, PPN] = {}
+        self.reverse: Dict[PPN, LPN] = {}
+        self._free_blocks: List[BlockIndex] = list(range(flash.num_blocks - 1, -1, -1))
+        self._frontier_block: Optional[BlockIndex] = None
         self._frontier_offset = 0
         self._relocate_hooks: List[RelocateHook] = []
         # Optional freshness source consulted during GC relocation: the
@@ -86,25 +88,28 @@ class PageFTL:
     # Mapping queries
     # ------------------------------------------------------------------ #
 
-    def _check_lpn(self, lpn: int) -> None:
+    def _check_lpn(self, lpn: LPN) -> None:
+        domain_tags.check(lpn, "LPN", "PageFTL")
         if not 0 <= lpn < self.exported_pages:
             raise ValueError(f"lpn {lpn} out of range [0, {self.exported_pages})")
 
-    def is_mapped(self, lpn: int) -> bool:
+    def is_mapped(self, lpn: LPN) -> bool:
         self._check_lpn(lpn)
         return lpn in self.mapping
 
-    def lookup(self, lpn: int) -> int:
+    def lookup(self, lpn: LPN) -> PPN:
         """Current ppn for a mapped lpn."""
         self._check_lpn(lpn)
         try:
-            return self.mapping[lpn]
+            return PPN(self.mapping[lpn])
         except KeyError:
             raise KeyError(f"lpn {lpn} is not mapped") from None
 
-    def lpn_of(self, ppn: int) -> Optional[int]:
+    def lpn_of(self, ppn: PPN) -> Optional[LPN]:
         """Reverse lookup: which lpn currently lives at this ppn."""
-        return self.reverse.get(ppn)
+        domain_tags.check(ppn, "PPN", "PageFTL.lpn_of")
+        lpn = self.reverse.get(ppn)
+        return None if lpn is None else LPN(lpn)
 
     def add_relocate_hook(self, hook: RelocateHook) -> None:
         """Register a callback fired whenever a live page changes ppn.
@@ -127,7 +132,7 @@ class PageFTL:
         """GC should run when only the reserve block remains on the free list."""
         return len(self._free_blocks) < 2
 
-    def _next_free_ppn(self) -> int:
+    def _next_free_ppn(self) -> PPN:
         """Next erased page on the write frontier, opening a block if needed."""
         if self._frontier_block is None:
             if not self._free_blocks:
@@ -140,13 +145,13 @@ class PageFTL:
         self._frontier_offset += 1
         if self._frontier_offset == self.flash.pages_per_block:
             self._frontier_block = None
-        return ppn
+        return PPN(ppn)
 
     # ------------------------------------------------------------------ #
     # Host operations
     # ------------------------------------------------------------------ #
 
-    def map_page(self, lpn: int) -> Tuple[int, int]:
+    def map_page(self, lpn: LPN) -> Tuple[PPN, TimeNs]:
         """Ensure ``lpn`` is backed by a flash page; returns (ppn, cost_ns).
 
         First touch programs a zero page so the mapping always points at a
@@ -159,20 +164,20 @@ class PageFTL:
             return existing, 0
         return self._program_new(lpn, None, gc_write=False)
 
-    def read(self, lpn: int) -> Tuple[int, Optional[bytes], int]:
+    def read(self, lpn: LPN) -> Tuple[PPN, Optional[bytes], TimeNs]:
         """Read a logical page: returns (ppn, data, cost_ns)."""
         ppn = self.lookup(lpn)
         op = self.flash.read(ppn)
         return ppn, op.data, op.latency_ns
 
-    def write(self, lpn: int, data: Optional[bytes] = None) -> Tuple[int, int]:
+    def write(self, lpn: LPN, data: Optional[bytes] = None) -> Tuple[PPN, TimeNs]:
         """Out-of-place write of a logical page: returns (new_ppn, cost_ns)."""
         self._check_lpn(lpn)
         return self._program_new(lpn, data, gc_write=False)
 
     def _program_new(
-        self, lpn: int, data: Optional[bytes], gc_write: bool
-    ) -> Tuple[int, int]:
+        self, lpn: LPN, data: Optional[bytes], gc_write: bool
+    ) -> Tuple[PPN, TimeNs]:
         cost = 0
         if self.gc_needed():
             cost += self.collect_garbage()
@@ -194,7 +199,7 @@ class PageFTL:
                 hook(lpn, old_ppn, new_ppn)
         return new_ppn, cost
 
-    def trim(self, lpn: int) -> None:
+    def trim(self, lpn: LPN) -> None:
         """TRIM/discard: the host no longer needs this logical page.
 
         The mapping is dropped and the flash copy invalidated, giving GC a
@@ -214,10 +219,10 @@ class PageFTL:
     # that folds SSD-Cache dirty pages lives in repro.ssd.gc)
     # ------------------------------------------------------------------ #
 
-    def select_victim(self) -> Optional[int]:
+    def select_victim(self) -> Optional[BlockIndex]:
         """Greedy policy: the fully-written block with the most invalid
         pages; ties go to the least-worn block (wear-aware tie-break)."""
-        best_block: Optional[int] = None
+        best_block: Optional[BlockIndex] = None
         best_key: Optional[Tuple[int, int]] = None
         for block in self.flash.blocks:
             if block.index == self._frontier_block:
@@ -232,7 +237,7 @@ class PageFTL:
                 best_block = block.index
         return best_block
 
-    def collect_garbage(self) -> int:
+    def collect_garbage(self) -> TimeNs:
         """Reclaim one victim block; returns the time spent in ns.
 
         Valid pages are relocated to the frontier (firing relocate hooks so
@@ -296,7 +301,7 @@ class PageFTL:
             "spread": max(counts) - min(counts),
         }
 
-    def maybe_level_wear(self) -> int:
+    def maybe_level_wear(self) -> TimeNs:
         """Relocate the coldest block when wear imbalance is too large.
 
         Static wear leveling: long-lived cold data pins its block at a low

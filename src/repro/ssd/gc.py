@@ -23,6 +23,7 @@ from repro.sim.stats import StatRegistry
 from repro.ssd.flash import FlashArray
 from repro.ssd.ftl import PageFTL
 from repro.ssd.ssd_cache import CacheEntry, SSDCache
+from repro.units import LPN, TimeNs
 
 
 class GarbageCollector:
@@ -51,7 +52,7 @@ class GarbageCollector:
         # Fold dirty cache contents into relocated pages during FTL GC.
         ftl.page_source = self._fresh_copy
 
-    def _fresh_copy(self, lpn: int) -> Optional[bytes]:
+    def _fresh_copy(self, lpn: LPN) -> Optional[bytes]:
         """FTL GC callback: newest data for ``lpn`` if the cache holds it dirty."""
         entry = self.cache.peek(lpn)
         if entry is None or not entry.dirty:
@@ -72,7 +73,7 @@ class GarbageCollector:
         dirty = len(self.cache.dirty_entries())
         return dirty / self.cache.capacity_pages
 
-    def flush_entry(self, entry: CacheEntry) -> int:
+    def flush_entry(self, entry: CacheEntry) -> TimeNs:
         """Write one dirty cache entry back to flash; returns cost in ns."""
         if not entry.dirty:
             return 0
@@ -83,7 +84,7 @@ class GarbageCollector:
         self._background_ns.add(cost)
         return cost
 
-    def flush_dirty(self, limit: Optional[int] = None) -> int:
+    def flush_dirty(self, limit: Optional[int] = None) -> TimeNs:
         """Destage dirty pages (all, or at most ``limit``); returns ns spent.
 
         This models the periodic background write-back; its cost is charged
@@ -100,13 +101,13 @@ class GarbageCollector:
             )
         return cost
 
-    def maybe_flush(self) -> int:
+    def maybe_flush(self) -> TimeNs:
         """Destage when the dirty ratio exceeds the configured limit."""
         if self.dirty_ratio >= self.dirty_ratio_limit:
             return self.flush_dirty()
         return 0
 
-    def collect(self) -> int:
+    def collect(self) -> TimeNs:
         """Run one foreground-independent GC pass; returns ns spent."""
         cost = self.ftl.collect_garbage()
         self._background_ns.add(cost)

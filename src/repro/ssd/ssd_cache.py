@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
 from repro.ssd.rrip import RRIPSet
+from repro.units import LPN, OffsetBytes
 
 
 class LRUSet:
@@ -57,7 +59,7 @@ class CacheEntry:
 
     __slots__ = ("lpn", "dirty", "page_cnt", "data")
 
-    def __init__(self, lpn: int, data: Optional[bytearray], dirty: bool) -> None:
+    def __init__(self, lpn: LPN, data: Optional[bytearray], dirty: bool) -> None:
         self.lpn = lpn
         self.dirty = dirty
         self.page_cnt = 0  # promotion access counter (Algorithm 1)
@@ -97,7 +99,7 @@ class SSDCache:
             self._policies = [RRIPSet(ways) for _ in range(self.num_sets)]
         else:
             self._policies = [LRUSet(ways) for _ in range(self.num_sets)]
-        self._where: Dict[int, int] = {}  # lpn -> set*ways + way
+        self._where: Dict[LPN, int] = {}  # lpn -> set*ways + way
         self._evict_hooks: List[EvictHook] = []
         self.stats = stats if stats is not None else StatRegistry()
         self._hit_ratio = self.stats.ratio("ssd_cache.hits")
@@ -116,14 +118,15 @@ class SSDCache:
         """Called with the entry about to be evicted (ADJUST_CNT, Alg. 1)."""
         self._evict_hooks.append(hook)
 
-    def _set_of(self, lpn: int) -> int:
+    def _set_of(self, lpn: LPN) -> int:
         return lpn % self.num_sets
 
-    def contains(self, lpn: int) -> bool:
+    def contains(self, lpn: LPN) -> bool:
         return lpn in self._where
 
-    def lookup(self, lpn: int, record: bool = True) -> Optional[CacheEntry]:
+    def lookup(self, lpn: LPN, record: bool = True) -> Optional[CacheEntry]:
         """Find a cached page; a hit refreshes the replacement state."""
+        domain_tags.check(lpn, "LPN", "SSDCache.lookup")
         slot = self._where.get(lpn)
         if slot is None:
             if record:
@@ -135,12 +138,12 @@ class SSDCache:
             self._policies[set_index].on_hit(way)
         return self._entries[set_index][way]
 
-    def peek(self, lpn: int) -> Optional[CacheEntry]:
+    def peek(self, lpn: LPN) -> Optional[CacheEntry]:
         """Find a cached page without touching replacement or hit stats."""
         return self.lookup(lpn, record=False)
 
     def insert(
-        self, lpn: int, data: Optional[bytes] = None, dirty: bool = False
+        self, lpn: LPN, data: Optional[bytes] = None, dirty: bool = False
     ) -> Optional[CacheEntry]:
         """Install a page; returns the entry evicted to make room, if any.
 
@@ -176,7 +179,7 @@ class SSDCache:
         policy.on_insert(way)
         return victim
 
-    def invalidate(self, lpn: int) -> Optional[CacheEntry]:
+    def invalidate(self, lpn: LPN) -> Optional[CacheEntry]:
         """Drop a page (e.g. it was promoted to host DRAM); returns it."""
         slot = self._where.pop(lpn, None)
         if slot is None:
@@ -187,7 +190,7 @@ class SSDCache:
         self._policies[set_index].reset_way(way)
         return entry
 
-    def write_bytes(self, lpn: int, offset: int, data: bytes) -> None:
+    def write_bytes(self, lpn: LPN, offset: OffsetBytes, data: bytes) -> None:
         """Update part of a cached page in place and mark it dirty."""
         entry = self.peek(lpn)
         if entry is None:
@@ -201,7 +204,7 @@ class SSDCache:
                 )
             entry.data[offset : offset + len(data)] = data
 
-    def read_bytes(self, lpn: int, offset: int, size: int) -> Optional[bytes]:
+    def read_bytes(self, lpn: LPN, offset: OffsetBytes, size: int) -> Optional[bytes]:
         """Read part of a cached page (None when payloads are not tracked)."""
         entry = self.peek(lpn)
         if entry is None:

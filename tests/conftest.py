@@ -5,11 +5,16 @@ users but enabled for the whole test suite: every Simulator, FlashArray,
 SimClock and SSDDevice built by a test carries its shadow-state checkers,
 so an invariant break anywhere in a test run fails loudly at the breaking
 operation instead of corrupting results silently.
+
+Shadow domain tags (repro.sim.domain_tags, the dynamic counterpart of
+the simflow static analysis) are enabled the same way: every vpn / lpn /
+ppn that flows out of a translation cast carries its address domain, and
+mixing domains raises at the mixing operation in any test.
 """
 
 import pytest
 
-from repro.sim import sanitizers
+from repro.sim import domain_tags, sanitizers
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -17,3 +22,10 @@ def _enable_sanitizers():
     previous = sanitizers.set_default_enabled(True)
     yield
     sanitizers.set_default_enabled(previous)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _enable_domain_tags():
+    previous = domain_tags.set_enabled(True)
+    yield
+    domain_tags.set_enabled(previous)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.config import small_config
 from repro.ssd.device import ByteAddressableSSD
+from repro.units import HostPage
 
 
 @pytest.fixture
@@ -31,7 +32,9 @@ class TestMapping:
 
     def test_host_merged_mode_exposes_ppns(self, device):
         host_page, _ = device.map_page(5)
-        assert device.ftl.lookup(5) == host_page
+        # The BAR page number *is* the ppn — asserted through the
+        # sanctioned pun cast so the domain tags agree.
+        assert HostPage(device.ftl.lookup(5)) == host_page
 
     def test_device_ftl_mode_exposes_lpns(self):
         device = ByteAddressableSSD(small_config(), host_merged_ftl=False)
