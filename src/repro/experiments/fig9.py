@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.report import Table
 from repro.experiments.common import ExperimentResult, build_system, scaled_config
+from repro.sweep.model import CellResult, markdown_block
 from repro.workloads.gups import run_gups
 
 EVALUATED = ("TraditionalStack", "UnifiedMMap", "FlatFlash")
@@ -117,6 +118,61 @@ def render_fig9b(result: ExperimentResult) -> Table:
             f"{row['speedup_vs_traditional']}x",
         )
     return table
+
+
+# --------------------------------------------------------------- sweep cells
+
+SECTION_A = (
+    "## Figure 9a — HPCC-GUPS\n",
+    "Paper: FlatFlash 1.5-1.6x over UnifiedMMap, 2.5-2.7x over\n"
+    "TraditionalStack, and 1.3-1.5x fewer page movements.  At our scale\n"
+    "the adaptive threshold rises to its maximum and suppresses nearly\n"
+    "all promotions under uniform-random access — page movements drop to\n"
+    "~zero rather than by 1.3-1.5x, which is the same mechanism, shown\n"
+    "more starkly because the scaled SSD-Cache is small relative to the\n"
+    "table.\n",
+)
+
+SECTION_B = (
+    "## Figure 9b — sensitivity to SSD-Cache size\n",
+    "Paper: FlatFlash's speedup grows with the SSD-Cache; the paging\n"
+    "baselines cannot exploit it at all.\n",
+)
+
+
+def cell_a() -> CellResult:
+    result = run_fig9a()
+    top = result.rows[-1]["ratio"]
+    flat = result.filtered(ratio=top, system="FlatFlash")[0]["mean_update_ns"]
+    metrics = {}
+    if flat:
+        for baseline, key in (
+            ("UnifiedMMap", "speedup_vs_unifiedmmap"),
+            ("TraditionalStack", "speedup_vs_traditional"),
+        ):
+            base = result.filtered(ratio=top, system=baseline)[0]["mean_update_ns"]
+            metrics[key] = float(base / flat)
+    return CellResult(
+        sections=[*SECTION_A, markdown_block(render_fig9a(result).render())],
+        rows=result.rows,
+        metrics=metrics,
+    )
+
+
+def cell_b() -> CellResult:
+    result = run_fig9b()
+    return CellResult(
+        sections=[*SECTION_B, markdown_block(render_fig9b(result).render())],
+        rows=result.rows,
+        metrics={
+            "max_speedup_vs_unifiedmmap": max(
+                float(row["speedup_vs_unified"]) for row in result.rows
+            ),
+            "max_speedup_vs_traditional": max(
+                float(row["speedup_vs_traditional"]) for row in result.rows
+            ),
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -4,253 +4,33 @@ Usage::
 
     python -m repro.experiments.run_all [output-path]
 
-Each section pairs the paper's reported result with the simulator's
-measured table so the reproduction can be audited figure by figure.
+This is now a thin client of the sweep engine: the experiment sections
+live in the cell registry (``repro.sweep.registry``) and the document
+layout in ``repro.sweep.document``.  ``generate()`` runs every cell
+serially and assembles the same bytes that ``python -m repro sweep``
+produces in parallel; pass ``jobs``/``cache`` to opt into either.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import List
-
-from repro.experiments import (
-    ablations,
-    breakdown,
-    device_tech,
-    interference,
-    scorecard,
-    fig8,
-    fig9,
-    fig10,
-    fig11_12,
-    fig13,
-    fig14,
-    table1,
-    table2,
-    table3,
-)
-
-HEADER = """# FlatFlash Reproduction — Experiment Results
-
-Generated by `python -m repro.experiments.run_all`.  Every table and
-figure of the paper's evaluation (§5) is regenerated by the simulator at
-reduced scale (capacity *ratios* preserved — see DESIGN.md §2).  Absolute
-numbers are simulated nanoseconds, not the authors' testbed; what must
-match — and is asserted by `pytest benchmarks/` — is the *shape*: who
-wins, by roughly what factor, and where the trends point.
-
-"""
+from typing import Optional
 
 
-def _block(text: str) -> str:
-    return "```\n" + text + "\n```\n"
+def generate(jobs: int = 1, cache: Optional[object] = None) -> str:
+    from repro.sweep.document import assemble
+    from repro.sweep.engine import run_sweep
 
-
-def generate() -> str:
-    sections: List[str] = [HEADER]
-
-    # ------------------------------------------------------------ Scorecard
-    sections.append("## Scorecard — the abstract's claims at a glance\n")
-    sections.append(
-        "Verdicts against the paper's *reported ranges* (its evaluation\n"
-        "quotes ranges; the abstract quotes the best case): STRONG = at\n"
-        "least half the best case, REPRODUCES = inside the range.\n"
-    )
-    sections.append(_block(scorecard.render(scorecard.run()).render()))
-
-    # ------------------------------------------------------------- Table 2
-    sections.append("## Table 2 — component latencies\n")
-    sections.append(
-        "Paper: MMIO cache-line read 4.8 us, posted write 0.6 us, page\n"
-        "promotion 12.1 us, PTE+TLB update 1.4 us, page-table walk 0.7 us.\n"
-        "These are configuration inputs; the benchmark verifies the machinery\n"
-        "charges them back exactly through the public access paths.\n"
-    )
-    sections.append(_block(table2.render(table2.run()).render()))
-
-    # ------------------------------------------------------------- Fig 8
-    sections.append("## Figure 8 — sequential vs random 64 B access latency\n")
-    sections.append(
-        "Paper: random — FlatFlash 1.2-1.4x under UnifiedMMap's latency and\n"
-        "1.8-2.1x under TraditionalStack's; sequential — FlatFlash close to\n"
-        "UnifiedMMap with a slight off-critical-path promotion overhead.\n"
-    )
-    result8 = fig8.run()
-    sections.append(_block(fig8.render(result8).render()))
-    sections.append(
-        f"Measured random-access speedups: {fig8.summarize_speedups(result8)}\n"
-    )
-
-    # ------------------------------------------------------------- Fig 9
-    sections.append("## Figure 9a — HPCC-GUPS\n")
-    sections.append(
-        "Paper: FlatFlash 1.5-1.6x over UnifiedMMap, 2.5-2.7x over\n"
-        "TraditionalStack, and 1.3-1.5x fewer page movements.  At our scale\n"
-        "the adaptive threshold rises to its maximum and suppresses nearly\n"
-        "all promotions under uniform-random access — page movements drop to\n"
-        "~zero rather than by 1.3-1.5x, which is the same mechanism, shown\n"
-        "more starkly because the scaled SSD-Cache is small relative to the\n"
-        "table.\n"
-    )
-    sections.append(_block(fig9.render_fig9a(fig9.run_fig9a()).render()))
-    sections.append("## Figure 9b — sensitivity to SSD-Cache size\n")
-    sections.append(
-        "Paper: FlatFlash's speedup grows with the SSD-Cache; the paging\n"
-        "baselines cannot exploit it at all.\n"
-    )
-    sections.append(_block(fig9.render_fig9b(fig9.run_fig9b()).render()))
-
-    # ------------------------------------------------------------- Fig 10
-    sections.append("## Figure 10 — graph analytics (PageRank, ConnComp)\n")
-    sections.append(
-        "Paper: FlatFlash 1.1-1.6x (PageRank) and 1.1-2.3x (ConnComp) over\n"
-        "UnifiedMMap; 1.2-3.3x / 1.3-4.8x over TraditionalStack; benefit\n"
-        "grows with the graph:DRAM ratio.  Graphs here are synthetic\n"
-        "power-law stand-ins for Twitter/Friendster (DESIGN.md §2).\n"
-    )
-    result10 = fig10.run()
-    sections.append(_block(fig10.render(result10).render()))
-    sections.append(
-        f"Max speedups vs UnifiedMMap: {fig10.speedup_over(result10, 'UnifiedMMap')}; "
-        f"vs TraditionalStack: {fig10.speedup_over(result10, 'TraditionalStack')}\n"
-    )
-
-    # ------------------------------------------------------------- Fig 11/12
-    sections.append("## Figures 11 & 12 — YCSB on the KV store\n")
-    sections.append(
-        "Paper: p99 reduced 2.0-2.8x vs UnifiedMMap and 1.8-2.7x vs\n"
-        "TraditionalStack (Fig. 11); mean improved 1.1-1.4x / 1.2-3.2x with\n"
-        "hit-ratio lines (Fig. 12); page movements sharply lower.\n"
-    )
-    result11 = fig11_12.run()
-    sections.append(_block(fig11_12.render(result11).render()))
-    sections.append(
-        "Measured max p99 reductions: "
-        f"vs UnifiedMMap {fig11_12.tail_latency_reduction(result11, 'UnifiedMMap')}x, "
-        f"vs TraditionalStack {fig11_12.tail_latency_reduction(result11, 'TraditionalStack')}x\n"
-    )
-    sections.append(_block(fig11_12.run_cdf().render()))
-
-    # ------------------------------------------------------------- Fig 13
-    sections.append("## Figure 13 — file-system metadata persistence\n")
-    sections.append(
-        "Paper: 2.6-18.9x across EXT4/XFS/BtrFS and five workloads, plus\n"
-        "large SSD-lifetime gains from removing journal/COW amplification.\n"
-        "Measured speedups land lower (≈2-6x) because our block engines model\n"
-        "only the journal/COW I/O itself, not the full kernel-path costs of\n"
-        "real file systems — but the ordering (BtrFS > EXT4 > XFS) and the\n"
-        "lifetime direction match.\n"
-    )
-    result13 = fig13.run()
-    sections.append(_block(fig13.render(result13).render()))
-    sections.append(f"Speedup ranges per FS: {fig13.speedup_range(result13)}\n")
-
-    # ------------------------------------------------------------- Fig 14
-    sections.append("## Figure 14 — OLTP throughput, per-transaction logging\n")
-    sections.append(
-        "Paper: FlatFlash scales TPCC/TPCB/TATP 1.1-3.0x over UnifiedMMap\n"
-        "and 1.6-4.2x over TraditionalStack (4-16 threads); with faster\n"
-        "devices (Fig. 14d) the gap grows to 5.3x.\n"
-    )
-    result14 = fig14.run_threads()
-    sections.append(_block(fig14.render_threads(result14).render()))
-    sections.append(
-        f"Max ratios: vs UnifiedMMap {fig14.max_scaling(result14, 'UnifiedMMap')}, "
-        f"vs TraditionalStack {fig14.max_scaling(result14, 'TraditionalStack')}\n"
-    )
-    sections.append(_block(fig14.render_sweep(fig14.run_device_latency_sweep()).render()))
-
-    # ------------------------------------------------------------- Table 1
-    sections.append("## Table 1 — summary vs UnifiedMMap\n")
-    sections.append(
-        "Paper columns reproduced side by side.  Notes: GUPS lifetime\n"
-        "overshoots because our per-tx block baseline does not group-commit\n"
-        "(the paper's centralized buffer batches log pages), and the graph\n"
-        "lifetime is ~1.0 at this scale since both systems barely write.\n"
-    )
-    sections.append(_block(table1.render(table1.run()).render()))
-
-    # ------------------------------------------------------------- Table 3
-    sections.append("## Table 3 — cost-effectiveness vs DRAM-only\n")
-    sections.append(
-        "Paper: FlatFlash 1.2-11x slower, 2.4-15x cheaper, 1.3-3.8x better\n"
-        "performance per dollar.  The qualitative conclusion — hybrid wins on\n"
-        "perf/$ for every workload — reproduces.\n"
-    )
-    sections.append(_block(table3.render(table3.run()).render()))
-
-    # ------------------------------------------------------------- Ablations
-    sections.append("## Ablations — quantifying the design choices (§3)\n")
-    sections.append(
-        "Beyond the paper's own figures: each mechanism toggled in\n"
-        "isolation.  Adaptive promotion avoids promote-always's page-movement\n"
-        "storm; the PLB hides the 12.1 us copy; RRIP resists scans; cacheable\n"
-        "(CAPI) MMIO collapses hot-line re-reads; per-transaction logging\n"
-        "breaks the centralized log's lock ceiling.\n"
-    )
-    sections.append(
-        _block(ablations.render_promotion_policy(ablations.run_promotion_policy()).render())
-    )
-    sections.append(_block(ablations.render_plb(ablations.run_plb()).render()))
-    sections.append(
-        _block(ablations.render_cache_policy(ablations.run_cache_policy()).render())
-    )
-    sections.append(
-        _block(ablations.render_cacheable_mmio(ablations.run_cacheable_mmio()).render())
-    )
-    sections.append(
-        _block(ablations.render_prefetch(ablations.run_prefetch()).render())
-    )
-    sections.append(
-        _block(
-            ablations.render_sequential_fairness(
-                ablations.run_sequential_fairness()
-            ).render()
-        )
-    )
-    sections.append(
-        _block(ablations.render_logging_scheme(ablations.run_logging_scheme()).render())
-    )
-
-    # ------------------------------------------------------- Device tech
-    sections.append("## Extension — device-technology study (§6 outlook)\n")
-    sections.append(
-        "Flash -> Z-NAND -> 3D-XPoint-class profiles: the faster the medium,\n"
-        "the more the paging software path dominates the baselines, so\n"
-        "FlatFlash's direct byte access wins by more — the paper's argument\n"
-        "that these techniques carry over to DRAM-NVM hierarchies.\n"
-    )
-    sections.append(_block(device_tech.render(device_tech.run()).render()))
-
-    # ------------------------------------------------------- Interference
-    sections.append("## Extension — workload interference (§5.4's pollution claim)\n")
-    sections.append(
-        "A YCSB-B victim shares the machine with a random-sweep antagonist.\n"
-        "FlatFlash keeps both the best absolute victim latency and the\n"
-        "smallest degradation: adaptive promotion refuses to admit the\n"
-        "antagonist's low-reuse pages into DRAM.\n"
-    )
-    sections.append(_block(interference.render(interference.run()).render()))
-
-    # --------------------------------------------------------- Breakdown
-    sections.append("## Extension — access-source breakdown (Fig. 1's story)\n")
-    sections.append(
-        "Where accesses are served under YCSB-B with the working set 8x\n"
-        "DRAM: the paging systems funnel everything through DRAM behind the\n"
-        "fault path, while FlatFlash serves accesses wherever the data lives\n"
-        "— coherent processor cache, DRAM, or the SSD over byte-granular\n"
-        "MMIO.\n"
-    )
-    sections.append(_block(breakdown.render(breakdown.run()).render()))
-
-    return "\n".join(sections)
+    report = run_sweep(jobs=jobs, cache=cache)
+    return assemble(report.results)
 
 
 def main() -> None:
+    from repro.sweep.document import write_document
+
     output = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
     content = generate()
-    with open(output, "w") as handle:
-        handle.write(content)
+    write_document(output, content)
     print(f"wrote {output} ({len(content)} bytes)")
 
 

@@ -13,22 +13,25 @@ shapes must hold, absolute factors only roughly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Mapping, Optional
 
 from repro.analysis.report import Table
 from repro.experiments import fig9, fig11_12, fig13, fig14, table3
 from repro.experiments.common import ExperimentResult
+from repro.sweep.model import CellResult, markdown_block
 
 
 @dataclass
 class Claim:
     """One abstract claim and how to measure it.
 
+    ``key`` is the short stable identifier sweep cells are named by;
     ``paper_low`` is the weakest instance the paper reports for this claim
     (its evaluation quotes ranges, the abstract quotes the best case);
     ``paper_high`` is the headline "up to" factor.
     """
 
+    key: str
     text: str
     paper_low: float
     paper_high: float
@@ -74,37 +77,50 @@ def _cost_effectiveness() -> float:
 
 
 CLAIMS: List[Claim] = [
-    Claim("memory-intensive apps up to 2.3x (GUPS)", 1.1, 2.3, _memory_intensive),
-    Claim("tail latency down up to 2.8x (YCSB p99)", 2.0, 2.8, _tail_latency),
-    Claim("database throughput up to 3.0x (TPCB, 16 threads)", 1.1, 3.0, _database_throughput),
-    Claim("metadata persistence up to 18.9x (file systems)", 2.6, 18.9, _metadata_persistence),
-    Claim("cost-effectiveness up to 3.8x (vs DRAM-only)", 1.3, 3.8, _cost_effectiveness),
+    Claim("gups", "memory-intensive apps up to 2.3x (GUPS)", 1.1, 2.3, _memory_intensive),
+    Claim("tail", "tail latency down up to 2.8x (YCSB p99)", 2.0, 2.8, _tail_latency),
+    Claim("oltp", "database throughput up to 3.0x (TPCB, 16 threads)", 1.1, 3.0, _database_throughput),
+    Claim("metadata", "metadata persistence up to 18.9x (file systems)", 2.6, 18.9, _metadata_persistence),
+    Claim("cost", "cost-effectiveness up to 3.8x (vs DRAM-only)", 1.3, 3.8, _cost_effectiveness),
 ]
 
 
-def run() -> ExperimentResult:
+def claim_by_key(key: str) -> Claim:
+    for claim in CLAIMS:
+        if claim.key == key:
+            return claim
+    raise KeyError(f"unknown claim {key!r}; choose from {[c.key for c in CLAIMS]}")
+
+
+def run(measured: Optional[Mapping[str, float]] = None) -> ExperimentResult:
     """Measure every claim.  Verdicts:
 
     * ``STRONG``     — measured reaches half the paper's best case,
     * ``REPRODUCES`` — measured lands inside the paper's reported range,
     * ``PARTIAL``    — the direction holds (>1x) but under the range,
     * ``FAILS``      — no improvement measured.
+
+    ``measured`` optionally supplies pre-computed factors by claim key
+    (the sweep engine measures the claims in parallel cells and feeds
+    them here); missing claims are measured inline.
     """
     result = ExperimentResult("Scorecard", "headline claims, measured")
     for claim in CLAIMS:
-        measured = claim.measure()
-        if measured >= claim.paper_high / 2 and measured >= claim.paper_low:
+        factor = None if measured is None else measured.get(claim.key)
+        if factor is None:
+            factor = claim.measure()
+        if factor >= claim.paper_high / 2 and factor >= claim.paper_low:
             verdict = "STRONG"
-        elif measured >= claim.paper_low:
+        elif factor >= claim.paper_low:
             verdict = "REPRODUCES"
-        elif measured > 1.0:
+        elif factor > 1.0:
             verdict = "PARTIAL"
         else:
             verdict = "FAILS"
         result.add(
             claim=claim.text,
             paper_range=f"{claim.paper_low}-{claim.paper_high}x",
-            measured=round(measured, 2),
+            measured=round(factor, 2),
             verdict=verdict,
         )
     return result
@@ -120,6 +136,43 @@ def render(result: ExperimentResult) -> Table:
             row["claim"], row["paper_range"], f"{row['measured']}x", row["verdict"]
         )
     return table
+
+
+# --------------------------------------------------------------- sweep cells
+
+SECTION = (
+    "## Scorecard — the abstract's claims at a glance\n",
+    "Verdicts against the paper's *reported ranges* (its evaluation\n"
+    "quotes ranges; the abstract quotes the best case): STRONG = at\n"
+    "least half the best case, REPRODUCES = inside the range.\n",
+)
+
+
+def claim_cell(claim: str) -> CellResult:
+    """Measure one abstract claim (a data-only cell feeding ``cell``)."""
+    spec = claim_by_key(claim)
+    factor = spec.measure()
+    return CellResult(
+        rows=[{"claim": claim, "measured": factor}],
+        metrics={"claim": claim, "measured": float(factor)},
+    )
+
+
+def cell(deps) -> CellResult:
+    """Assign verdicts from the five claim cells and render the table."""
+    measured = {}
+    for dep in deps.values():
+        row = dep.rows[0]
+        measured[row["claim"]] = row["measured"]
+    result = run(measured)
+    return CellResult(
+        sections=[*SECTION, markdown_block(render(result).render())],
+        rows=result.rows,
+        metrics={
+            "verdicts": {row["claim"]: row["verdict"] for row in result.rows},
+            "measured": {row["claim"]: float(row["measured"]) for row in result.rows},
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analysis.report import Table
 from repro.core.hierarchy import FlatFlash
 from repro.experiments.common import ExperimentResult, scaled_config
+from repro.sweep.model import CellResult, markdown_block
 
 PAPER_US = {
     "Read a cache line in SSD-Cache via PCIe MMIO": 4.8,
@@ -65,6 +66,26 @@ def render(result: ExperimentResult) -> Table:
     for row in result.rows:
         table.add_row(row["component"], row["paper_us"], row["measured_us"])
     return table
+
+
+# --------------------------------------------------------------- sweep cell
+
+SECTION = (
+    "## Table 2 — component latencies\n",
+    "Paper: MMIO cache-line read 4.8 us, posted write 0.6 us, page\n"
+    "promotion 12.1 us, PTE+TLB update 1.4 us, page-table walk 0.7 us.\n"
+    "These are configuration inputs; the benchmark verifies the machinery\n"
+    "charges them back exactly through the public access paths.\n",
+)
+
+
+def cell() -> CellResult:
+    result = run()
+    return CellResult(
+        sections=[*SECTION, markdown_block(render(result).render())],
+        rows=result.rows,
+        metrics={},
+    )
 
 
 if __name__ == "__main__":

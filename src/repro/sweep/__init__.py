@@ -1,0 +1,44 @@
+"""Parallel, content-addressed experiment sweep engine.
+
+Public surface:
+
+* :class:`~repro.sweep.model.CellResult` — what a cell produces,
+* :class:`~repro.sweep.registry.Cell` / :class:`~repro.sweep.registry.Registry`
+  and :func:`~repro.sweep.registry.default_registry` — the declarative
+  cell catalogue,
+* :func:`~repro.sweep.engine.run_sweep` — the scheduler,
+* :class:`~repro.sweep.cache.SweepCache` — the result cache,
+* :func:`~repro.sweep.document.assemble` — EXPERIMENTS.md assembly.
+
+Only :mod:`repro.sweep.model` is imported eagerly: experiment modules
+import ``CellResult`` from there while the registry imports the
+experiment modules, and keeping this ``__init__`` light breaks the cycle.
+"""
+
+from repro.sweep.model import CellResult, markdown_block, result_hash
+
+_LAZY = {
+    "Cell": ("repro.sweep.registry", "Cell"),
+    "Registry": ("repro.sweep.registry", "Registry"),
+    "default_registry": ("repro.sweep.registry", "default_registry"),
+    "run_sweep": ("repro.sweep.engine", "run_sweep"),
+    "SweepReport": ("repro.sweep.engine", "SweepReport"),
+    "SweepCache": ("repro.sweep.cache", "SweepCache"),
+    "KeyBuilder": ("repro.sweep.cache", "KeyBuilder"),
+    "assemble": ("repro.sweep.document", "assemble"),
+    "write_document": ("repro.sweep.document", "write_document"),
+    "document_cells": ("repro.sweep.document", "document_cells"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+__all__ = ["CellResult", "markdown_block", "result_hash", *_LAZY]

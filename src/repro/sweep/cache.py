@@ -1,0 +1,232 @@
+"""Content-addressed result cache for sweep cells.
+
+A cell's cache key is the SHA-256 of four ingredients:
+
+* the cell's **name and params** (``{"benchmark": "TPCB"}`` and friends),
+* a **config fingerprint** — a stable serialization of the resolved
+  default :class:`~repro.config.FlatFlashConfig` (geometry, the full
+  latency table, promotion parameters, sanitizer switches), so editing
+  any simulator default invalidates every cell,
+* a **source hash** over the transitive closure of ``repro.*`` modules
+  the cell's module imports (computed by AST walk, no execution), so a
+  code edit invalidates exactly the cells whose import closure contains
+  the edited file,
+* the **result hashes of its dependencies**, chaining invalidation
+  through the DAG the way a build system would.
+
+Entries are single pickle files under ``.sweep-cache/`` written via
+temp-file + ``os.replace``.  A corrupt, truncated, or foreign entry is
+treated as a miss — the loader never raises and never returns rows whose
+recorded key or cell name disagrees with what was asked for.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import importlib.util
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.config import FlatFlashConfig
+from repro.sweep.model import CellResult
+from repro.sweep.registry import Cell
+
+#: Bump to orphan every existing entry after an incompatible layout change.
+CACHE_FORMAT = 1
+
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+
+def config_fingerprint(config: Optional[FlatFlashConfig] = None) -> str:
+    """Stable digest of the resolved simulator configuration defaults."""
+    if config is None:
+        config = FlatFlashConfig()
+    blob = json.dumps(dataclasses.asdict(config), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _module_source(module: str) -> Optional[Path]:
+    """The ``.py`` file behind a module name, or None when unresolvable."""
+    try:
+        spec = importlib.util.find_spec(module)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    if spec is None or not spec.origin or not spec.origin.endswith(".py"):
+        return None
+    return Path(spec.origin)
+
+
+def _imported_modules(path: Path, prefix: str) -> List[str]:
+    """Module names under ``prefix`` that ``path`` imports (AST walk)."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return []
+    dotted = prefix + "."
+    found: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == prefix or alias.name.startswith(dotted):
+                    found.append(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module == prefix or node.module.startswith(dotted):
+                found.append(node.module)
+                # ``from repro.experiments import fig8`` names a submodule,
+                # not an attribute; include it when it resolves to one.
+                for alias in node.names:
+                    candidate = f"{node.module}.{alias.name}"
+                    if _module_source(candidate) is not None:
+                        found.append(candidate)
+    return found
+
+
+class KeyBuilder:
+    """Computes cell cache keys; memoizes per instance (one engine run).
+
+    Memoizing per run — not per process — keeps a long-lived process
+    honest: a fresh builder re-reads sources, so edits made between runs
+    are always observed.
+    """
+
+    def __init__(
+        self,
+        prefix: str = "repro",
+        config: Optional[FlatFlashConfig] = None,
+    ) -> None:
+        self._prefix = prefix
+        self._config_fp = config_fingerprint(config)
+        self._closure_memo: Dict[str, Tuple[str, ...]] = {}
+        self._source_memo: Dict[str, str] = {}
+
+    def module_closure(self, module: str) -> Tuple[str, ...]:
+        """Transitive ``prefix.*`` import closure of ``module`` (inclusive)."""
+        cached = self._closure_memo.get(module)
+        if cached is not None:
+            return cached
+        seen: Dict[str, None] = {}
+        stack = [module]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen[name] = None
+            path = _module_source(name)
+            if path is None:
+                continue
+            stack.extend(_imported_modules(path, self._prefix))
+        closure = tuple(sorted(seen))
+        self._closure_memo[module] = closure
+        return closure
+
+    def source_hash(self, module: str) -> str:
+        """Digest over (name, content hash) of the module's import closure."""
+        cached = self._source_memo.get(module)
+        if cached is not None:
+            return cached
+        entries = []
+        for name in self.module_closure(module):
+            path = _module_source(name)
+            if path is None:
+                continue
+            try:
+                content = path.read_bytes()
+            except OSError:
+                continue
+            entries.append((name, hashlib.sha256(content).hexdigest()))
+        digest = hashlib.sha256(json.dumps(entries, sort_keys=True).encode()).hexdigest()
+        self._source_memo[module] = digest
+        return digest
+
+    def key(self, cell: Cell, dep_hashes: Mapping[str, str]) -> str:
+        """The cell's content address given its deps' result hashes."""
+        payload = json.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "cell": cell.name,
+                "params": {name: repr(value) for name, value in cell.params.items()},
+                "config": self._config_fp,
+                "sources": self.source_hash(cell.fn.__module__),
+                "deps": {dep: dep_hashes[dep] for dep in sorted(cell.deps)},
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SweepCache:
+    """On-disk store of cell results, one pickle file per cache key."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, cell_name: str, key: str) -> Optional[CellResult]:
+        """The stored result, or None on miss/corruption/mismatch."""
+        path = self._entry_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:  # corrupt or truncated entry: recompute
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != CACHE_FORMAT:
+            return None
+        if payload.get("key") != key or payload.get("cell") != cell_name:
+            return None  # stale or foreign entry must never be served
+        result = payload.get("result")
+        if not isinstance(result, CellResult):
+            return None
+        return result
+
+    def store(self, cell_name: str, key: str, result: CellResult) -> None:
+        """Atomically persist one entry (temp file + ``os.replace``)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "cell": cell_name,
+            "key": key,
+            "result": result,
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=4)
+            os.replace(tmp, self._entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> List[str]:
+        """Keys of every entry currently on disk (test/diagnostic aid)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.pkl"))
+
+
+def clear(root: os.PathLike = DEFAULT_CACHE_DIR) -> int:
+    """Delete every cache entry under ``root``; returns the count removed."""
+    cache = SweepCache(root)
+    removed = 0
+    for key in cache.keys():
+        try:
+            cache._entry_path(key).unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

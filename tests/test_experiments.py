@@ -208,3 +208,31 @@ class TestBreakdownAndInterference:
             assert series[-1] == pytest.approx(1.0)
         for flat, unified in zip(columns["FlatFlash"], columns["UnifiedMMap"]):
             assert flat >= unified - 1e-9
+
+
+class TestSummaryOrdering:
+    """Rendered summary dicts must iterate in first-appearance order, not
+    set order — the parallel sweep's byte-identity depends on it (spawn
+    workers run under fresh hash seeds)."""
+
+    def test_fig13_speedup_range_order(self):
+        result = fig13.run(ops_per_workload=30, dram_pages=16)
+        expected = list(dict.fromkeys(row["filesystem"] for row in result.rows))
+        assert list(fig13.speedup_range(result)) == expected
+
+    def test_fig10_speedup_over_order(self):
+        result = fig10.run(
+            graph_names=["twitter-like"], dram_ratios=[3], pagerank_iterations=1,
+            cc_iterations=1,
+        )
+        expected = list(dict.fromkeys(row["algorithm"] for row in result.rows))
+        assert list(fig10.speedup_over(result, "UnifiedMMap")) == expected
+
+    def test_fig14_max_scaling_order(self):
+        result = fig14.run_threads(
+            workload_names=["TPCB", "TATP"],
+            thread_counts=[4],
+            transactions_per_thread=20,
+        )
+        expected = list(dict.fromkeys(row["workload"] for row in result.rows))
+        assert list(fig14.max_scaling(result, "UnifiedMMap")) == expected

@@ -17,7 +17,9 @@ def test_claim_ranges_are_sane():
 
 def _with_fake_measures(monkeypatch, values):
     fakes = [
-        scorecard.Claim(claim.text, claim.paper_low, claim.paper_high, lambda v=v: v)
+        scorecard.Claim(
+            claim.key, claim.text, claim.paper_low, claim.paper_high, lambda v=v: v
+        )
         for claim, v in zip(scorecard.CLAIMS, values)
     ]
     monkeypatch.setattr(scorecard, "CLAIMS", fakes)

@@ -1,0 +1,121 @@
+"""Atomic document writes and the ``python -m repro sweep`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import run_all
+from repro.sweep.document import write_document
+
+
+class TestAtomicWrites:
+    def test_write_document_replaces(self, tmp_path):
+        target = tmp_path / "out.md"
+        write_document(target, "first\n")
+        write_document(target, "second\n")
+        assert target.read_text() == "second\n"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_preserves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.md"
+        target.write_text("original\n")
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.sweep.document.os.replace", explode)
+        with pytest.raises(OSError, match="disk full"):
+            write_document(target, "replacement\n")
+        assert target.read_text() == "original\n"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_run_all_main_is_atomic(self, tmp_path, monkeypatch, capsys):
+        """An interrupted regeneration can't truncate EXPERIMENTS.md."""
+        target = tmp_path / "EXPERIMENTS.md"
+        target.write_text("previous good content\n")
+        def exploding():
+            raise RuntimeError("experiment blew up")
+
+        monkeypatch.setattr(run_all, "generate", exploding)
+        monkeypatch.setattr("sys.argv", ["run_all", str(target)])
+        with pytest.raises(RuntimeError):
+            run_all.main()
+        assert target.read_text() == "previous good content\n"
+
+    def test_run_all_main_writes_output(self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        monkeypatch.setattr(run_all, "generate", lambda: "# stub\n")
+        monkeypatch.setattr("sys.argv", ["run_all", str(target)])
+        run_all.main()
+        assert target.read_text() == "# stub\n"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_cli_all_is_atomic(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.md"
+        target.write_text("old\n")
+        monkeypatch.setattr(run_all, "generate", lambda: "new\n")
+        monkeypatch.setattr(
+            "repro.sweep.document.os.replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            main(["all", str(target)])
+        assert target.read_text() == "old\n"
+
+
+class TestSweepCLI:
+    def test_filtered_sweep_with_bench_artifact(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        bench = tmp_path / "BENCH_sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--filter",
+                "table2",
+                "--jobs",
+                "1",
+                "--json",
+                str(bench),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        # A filtered sweep must not write a partial document.
+        assert not (tmp_path / "EXPERIMENTS.md").exists()
+        assert "not written" in out
+        payload = json.loads(bench.read_text())
+        assert payload["schema"] == "flatflash-sweep-bench/1"
+        assert payload["jobs"] == 1
+        assert [cell["name"] for cell in payload["cells"]] == ["table2"]
+        assert payload["cells"][0]["rows"] > 0
+        assert payload["headline"]["scorecard_verdicts"] is None
+
+    def test_filtered_sweep_uses_cache_on_rerun(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        args = ["sweep", "--filter", "table2", "--jobs", "1", "--cache-dir", "cache"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "1 cache hit(s)" in capsys.readouterr().out
+
+    def test_no_cache_writes_nothing_to_disk(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["sweep", "--filter", "table2", "--jobs", "1", "--no-cache", "--quiet"]
+        )
+        assert code == 0
+        assert not (tmp_path / ".sweep-cache").exists()
+        assert "0 cache hit(s)" in capsys.readouterr().out
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--jobs", "0"])
+
+    def test_unknown_filter_errors(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError, match="no cells match"):
+            main(["sweep", "--filter", "nonexistent-*", "--no-cache"])
