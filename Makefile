@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint flow race bench experiments sweep examples all clean
+.PHONY: install test lint flow race faults bench experiments sweep examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,6 +28,10 @@ flow:
 # and fail on any undocumented schedule-dependent stat.
 race:
 	$(PYTHON) -m repro race --seeds 5
+
+# Deterministic cross-layer fault-injection campaign (simfault), CI scale.
+faults:
+	$(PYTHON) -m repro faults --smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,6 +9,7 @@ Usage::
     python -m repro sweep [output.md]   # everything, parallel + cached
     python -m repro race [--seeds N]    # schedule-perturbation check
     python -m repro analyze [paths]     # simlint + simrace + simflow
+    python -m repro faults [--smoke]    # deterministic fault-injection campaign
 """
 
 from __future__ import annotations
@@ -107,6 +108,17 @@ def main(argv=None) -> int:
     )
     analyze.configure_parser(analyze_parser)
 
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="run the deterministic fault-injection campaign (simfault)",
+    )
+    faults_parser.add_argument("--seed", type=int, default=0)
+    faults_parser.add_argument("--smoke", action="store_true")
+    faults_parser.add_argument("--json", metavar="PATH", default=None)
+    faults_parser.add_argument(
+        "--only", action="append", metavar="SCENARIO", default=None
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -121,6 +133,17 @@ def main(argv=None) -> int:
         return run_race_check(seeds=args.seeds)
     if args.command == "analyze":
         return analyze.run(args)
+    if args.command == "faults":
+        from repro.faults.campaign import main as faults_main
+
+        faults_argv = ["--seed", str(args.seed)]
+        if args.smoke:
+            faults_argv.append("--smoke")
+        if args.json:
+            faults_argv += ["--json", args.json]
+        for scenario in args.only or ():
+            faults_argv += ["--only", scenario]
+        return faults_main(faults_argv)
     if args.command == "sweep":
         return sweep_cli.run(args)
     if args.command == "all":

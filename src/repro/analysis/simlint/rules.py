@@ -689,6 +689,88 @@ class MutableDefaultRule(Rule):
                     )
 
 
+class FaultRandomnessRule(Rule):
+    """SL009: fault draws must come from injected seeded streams.
+
+    Scoped to ``repro/faults/**`` (which lies outside the SL002 sim
+    scope): every fault decision must be a draw from the injector's
+    per-site ``np.random.default_rng((seed, crc32(site)))`` streams, or a
+    campaign stops being replayable.  The stdlib ``random`` module (global
+    hidden state), numpy's legacy ``np.random.*`` functions and an
+    unseeded ``default_rng()`` are all forbidden here.
+    """
+
+    code = "SL009"
+    title = "non-injected randomness in fault-injection code"
+    sim_scope_only = False
+    explanation = (
+        "Fault plans are replayable byte-for-byte only if every probability "
+        "draw comes from the injector's seeded per-site generators; "
+        "module-level random / legacy np.random state breaks the replay "
+        "guarantee silently."
+    )
+
+    _NUMPY_LEGACY = UnseededRandomRule._NUMPY_LEGACY
+
+    @staticmethod
+    def _in_faults_scope(path: str) -> bool:
+        from pathlib import Path
+
+        parts = Path(path).parts
+        for index, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[index + 1] == "faults":
+                return True
+        return False
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        if not self._in_faults_scope(ctx.path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "stdlib random imported in fault-injection code; "
+                            "fault draws must come from the injector's seeded "
+                            "per-site np.random.default_rng streams",
+                        )
+                continue
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "import from the stdlib random module in fault-injection "
+                    "code; use the injector's seeded per-site streams",
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            text = ast.unparse(func)
+            if text.endswith("random.default_rng") and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "np.random.default_rng() without a seed in fault-injection "
+                    "code; derive the seed from the FaultPlan "
+                    "(seed, crc32(site))",
+                )
+                continue
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._NUMPY_LEGACY
+                and text.startswith(("np.random.", "numpy.random."))
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy global-state call {text}() in fault-injection "
+                    f"code; use the injector's seeded per-site generators",
+                )
+
+
 #: Registered rules, in code order.
 RULES: List[Rule] = [
     WallClockRule(),
@@ -699,4 +781,5 @@ RULES: List[Rule] = [
     LockBalanceRule(),
     CounterDeclRule(),
     MutableDefaultRule(),
+    FaultRandomnessRule(),
 ]

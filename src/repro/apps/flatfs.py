@@ -27,7 +27,7 @@ import struct
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.hierarchy import FlatFlash
-from repro.core.persistence import create_pmem_region
+from repro.core.persistence import PersistentRegion, create_pmem_region
 from repro.apps.wal import WriteAheadLog
 
 INODE_SIZE = 64
@@ -88,6 +88,27 @@ class FlatFS:
             block = self._alloc_block()
             self._set_inode(0, DIR, 1, self.block_size, [block] + [0] * 9)
             self.checkpoint()
+
+    @classmethod
+    def reattach(cls, system: FlatFlash, old: "FlatFS") -> "FlatFS":
+        """Rebind a file system to a restarted FlatFlash (post power loss).
+
+        The regions are the same address ranges on the same flash image —
+        only the host objects are rebuilt.  No region is created and the
+        root is not re-formatted: the metadata on flash is authoritative.
+        The caller runs :meth:`recover` on the result to redo the journal.
+        """
+        fs = cls.__new__(cls)
+        fs.system = system
+        fs.num_inodes = old.num_inodes
+        fs.data_blocks = old.data_blocks
+        fs.block_size = old.block_size
+        fs.meta = PersistentRegion(system, old.meta.region)
+        fs._bitmap_base = old._bitmap_base
+        fs.data_region = old.data_region
+        fs.wal = WriteAheadLog(PersistentRegion(system, old.wal.pmem.region))
+        fs._dirents_per_block = old._dirents_per_block
+        return fs
 
     # ------------------------------------------------------------------ #
     # Raw metadata accessors (pmem region)

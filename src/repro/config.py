@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.faults.plan import FaultConfig
 from repro.sim.sanitizers import SanitizerConfig
 
 
@@ -35,6 +36,9 @@ class LatencyConfig:
     mmio_write_cacheline_ns: int = 600
     # Write-verify read used by the persistence path to order posted writes.
     mmio_verify_read_ns: int = 4_800
+    # Completion-timeout charged when an injected PCIe fault drops an MMIO
+    # transaction (repro.faults); the host bridge then retries with backoff.
+    mmio_timeout_ns: int = 50_000
 
     # NAND flash array timings.  ``flash_read_page_ns`` is the device read
     # latency Fig. 14d sweeps; the default models the paper's low-latency
@@ -187,6 +191,11 @@ class FlatFlashConfig:
     # the process-wide switch so the test suite can enable them globally.
     sanitizers: SanitizerConfig = field(default_factory=SanitizerConfig.from_default)
 
+    # Deterministic fault injection (repro.faults).  Inert by default: with
+    # all rates at zero no injector is constructed and every metric is
+    # bit-identical to a fault-free build.
+    faults: FaultConfig = field(default_factory=FaultConfig)
+
     # Carry real page payloads through the hierarchy (tests/examples) or
     # run accounting-only (large performance sweeps).
     track_data: bool = True
@@ -213,6 +222,7 @@ class FlatFlashConfig:
         self.geometry.validate()
         self.promotion.validate()
         self.sanitizers.validate()
+        self.faults.validate()
         if self.readahead_pages < 0:
             raise ValueError(
                 f"readahead_pages must be >= 0, got {self.readahead_pages}"

@@ -27,11 +27,12 @@ from typing import Dict, List, Optional
 from repro.config import FlatFlashConfig
 from repro.core.memory_system import AccessResult, MemorySystem
 from repro.core.promotion import PromotionManager
-from repro.host.bridge import HostBridge
+from repro.host.bridge import HostBridge, MMIORetryPolicy
 from repro.host.cpu_cache import CPUCache
 from repro.host.dram import Frame, HostDRAM
 from repro.host.page_table import Domain, PageTableEntry
 from repro.host.plb import PLBEntry
+from repro.interconnect.pcie import PCIeFaultError
 from repro.ssd.device import ByteAddressableSSD
 from repro.units import LPN, VPN, HostPage, OffsetBytes, TimeNs
 
@@ -94,6 +95,18 @@ class FlatFlash(MemorySystem):
             stats=self.stats,
             persistence_sanitizer=self.ssd.persistence_sanitizer,
         )
+        if self.ssd.faults is not None:
+            # Fault injection active: install the MMIO retry/backoff policy
+            # (repro.faults).  Left as None otherwise so the fault-free
+            # access path is byte-identical to the baseline.
+            faults = config.faults
+            self.bridge.mmio_retry = MMIORetryPolicy(
+                max_retries=faults.mmio_max_retries,
+                backoff_base_ns=faults.mmio_backoff_base_ns,
+                backoff_multiplier=faults.mmio_backoff_multiplier,
+                degraded_threshold=faults.mmio_degraded_threshold,
+                stats=self.stats,
+            )
         self.cpu_cache = CPUCache(line_size=geometry.cacheline_size, stats=self.stats)
         if promotion_manager is None:
             promotion_manager = PromotionManager(config.promotion, stats=self.stats)
@@ -114,6 +127,9 @@ class FlatFlash(MemorySystem):
         self._evictions = self.stats.counter("mem.evictions")
         self._plb_hits = self.stats.counter("mem.plb_mediated_accesses")
         self._prefetches = self.stats.counter("mem.prefetch_promotions")
+        # Cacheable-MMIO hits the SSD-Cache could not serve (peek/poke
+        # missed): the access falls back to the full PCIe path.
+        self._cacheable_fallbacks = self.stats.counter("mem.cacheable_fallbacks")
         # Sequential-stream detector for the optional prefetch extension.
         self._last_vpn = -2
         self._stream_run = 0
@@ -204,13 +220,13 @@ class FlatFlash(MemorySystem):
             phys = self.bridge.ssd_addr(ssd_page, offset)
             hit, evicted = self.cpu_cache.access(phys, is_write=is_write)
             if evicted is not None:
-                self._background_ns.add(
-                    self.ssd.pcie.mmio_write_cost(self.config.geometry.cacheline_size)
-                )
+                self._charge_victim_writeback()
             if hit:
                 served = self._cacheable_hit(ssd_page, offset, size, is_write, data)
                 if served is not None:
                     return served
+        if self.bridge.mmio_retry is not None:
+            return self._guarded_mmio(pte, ssd_page, offset, size, is_write, data)
         if is_write:
             mmio = self.ssd.mmio_write(
                 ssd_page, offset, size, data=data, persist=pte.persist
@@ -220,6 +236,114 @@ class FlatFlash(MemorySystem):
         self._background_ns.add(self.ssd.take_background_ns())
         stall_ns = self._start_pending_promotions()
         return AccessResult(mmio.latency_ns + stall_ns, "ssd", data=mmio.data)
+
+    def _charge_victim_writeback(self) -> None:
+        """Charge the posted write-back of a dirty CPU-cache victim line.
+
+        Under fault injection the link may drop it; the line's data is not
+        lost (payloads flow through the SSD-Cache), so the model just
+        charges the lost time and lets a later write-back retry.
+        """
+        try:
+            cost = self.ssd.pcie.mmio_write_cost(self.config.geometry.cacheline_size)
+        except PCIeFaultError as fault:
+            cost = fault.latency_ns
+        self._background_ns.add(cost)
+
+    def _guarded_mmio(
+        self,
+        pte: PageTableEntry,
+        ssd_page: HostPage,
+        offset: OffsetBytes,
+        size: int,
+        is_write: bool,
+        data: Optional[bytes],
+    ) -> AccessResult:
+        """MMIO access under fault injection (repro.faults).
+
+        Bounded retry with exponential backoff on injected PCIe faults.
+        A page that crosses the consecutive-failure threshold degrades
+        permanently to the block/DMA path (promotion suppressed); an access
+        that merely exhausts its retries falls back to the block path once
+        but keeps MMIO enabled for the page.
+        """
+        retry = self.bridge.mmio_retry
+        assert retry is not None
+        lpn = self.ssd.resolve_lpn(ssd_page)
+        if retry.is_degraded(lpn):
+            return self._degraded_access(pte, lpn, offset, size, is_write, data, 0)
+        extra_ns = 0
+        for attempt in range(retry.max_retries + 1):
+            try:
+                if is_write:
+                    mmio = self.ssd.mmio_write(
+                        ssd_page, offset, size, data=data, persist=pte.persist
+                    )
+                else:
+                    mmio = self.ssd.mmio_read(
+                        ssd_page, offset, size, persist=pte.persist
+                    )
+            except PCIeFaultError as fault:
+                extra_ns += fault.latency_ns
+                if retry.note_failure(lpn):
+                    self._emit("mmio_degraded", lpn=lpn)
+                    return self._degraded_access(
+                        pte, lpn, offset, size, is_write, data, extra_ns
+                    )
+                if attempt < retry.max_retries:
+                    extra_ns += retry.backoff_ns(attempt)
+                continue
+            retry.note_success(lpn)
+            self._background_ns.add(self.ssd.take_background_ns())
+            stall_ns = self._start_pending_promotions()
+            return AccessResult(
+                mmio.latency_ns + extra_ns + stall_ns, "ssd", data=mmio.data
+            )
+        retry.note_giveup()
+        return self._degraded_access(pte, lpn, offset, size, is_write, data, extra_ns)
+
+    def _degraded_access(
+        self,
+        pte: PageTableEntry,
+        lpn: LPN,
+        offset: OffsetBytes,
+        size: int,
+        is_write: bool,
+        data: Optional[bytes],
+        extra_ns: TimeNs,
+    ) -> AccessResult:
+        """Serve one access over the block/DMA interface.
+
+        Graceful degradation: the page stays reachable at block-I/O latency
+        (software overhead + page DMA) instead of erroring.  Writes are a
+        read-modify-write of the whole page through the FTL — durable in
+        flash, so persist semantics are preserved.  PTE repointing after
+        the out-of-place write rides the existing remap-drain machinery.
+        """
+        retry = self.bridge.mmio_retry
+        assert retry is not None
+        retry.note_degraded_access()
+        cost = extra_ns + self.config.latency.block_io_software_ns
+        if is_write:
+            page, read_cost = self.ssd.read_page_block(lpn)
+            cost += read_cost
+            merged = None
+            if page is not None:
+                buffer = bytearray(page)
+                buffer[offset : offset + size] = (
+                    data if data is not None else b"\x00" * size
+                )
+                merged = bytes(buffer)
+            cost += self.ssd.write_page_block(lpn, merged)
+            self._background_ns.add(self.ssd.take_background_ns())
+            return AccessResult(cost, "ssd_block")
+        page, read_cost = self.ssd.read_page_block(lpn)
+        cost += read_cost
+        payload = None
+        if page is not None:
+            payload = bytes(page[offset : offset + size])
+        self._background_ns.add(self.ssd.take_background_ns())
+        return AccessResult(cost, "ssd_block", data=payload)
 
     def _cacheable_hit(
         self,
@@ -241,10 +365,12 @@ class FlatFlash(MemorySystem):
             return AccessResult(hit_ns, "cpu_cache")
         if is_write:
             if data is not None and not self.ssd.poke_bytes(ssd_page, offset, data):
+                self._cacheable_fallbacks.add()
                 return None
             return AccessResult(hit_ns, "cpu_cache")
         payload = self.ssd.peek_bytes(ssd_page, offset, size)
         if payload is None:
+            self._cacheable_fallbacks.add()
             return None
         return AccessResult(hit_ns, "cpu_cache", data=payload)
 
@@ -317,7 +443,7 @@ class FlatFlash(MemorySystem):
         # At least one line is still on its way: the PLB splits the request,
         # serving copied lines from the destination frame (they may carry
         # redirected stores) and forwarding the rest to the SSD.
-        cost = self.ssd.pcie.mmio_read_cost(size)
+        cost = self._plb_forward_read_cost(size)
         payload = None
         if self.config.track_data:
             line_size = self.config.geometry.cacheline_size
@@ -349,9 +475,35 @@ class FlatFlash(MemorySystem):
             stall_ns += self._start_promotion(lpn)
         return stall_ns
 
+    def _plb_forward_read_cost(self, size: int) -> TimeNs:
+        """Link cost of a PLB-forwarded read, absorbing injected faults.
+
+        Bounded retries without degradation tracking: the page is mid-
+        promotion and about to leave the SSD anyway, and the payload is
+        assembled from the snapshot/destination frame regardless.
+        """
+        retry = self.bridge.mmio_retry
+        if retry is None:
+            return self.ssd.pcie.mmio_read_cost(size)
+        cost = 0
+        for attempt in range(retry.max_retries + 1):
+            try:
+                return cost + self.ssd.pcie.mmio_read_cost(size)
+            except PCIeFaultError as fault:
+                cost += fault.latency_ns
+                if attempt < retry.max_retries:
+                    cost += retry.backoff_ns(attempt)
+        retry.note_giveup()
+        return cost
+
     def _start_promotion(self, lpn: LPN) -> TimeNs:
         """Kick off one promotion; returns the stall charged to the access
         (nonzero only in the PLB-disabled ablation)."""
+        retry = self.bridge.mmio_retry
+        if retry is not None and retry.is_degraded(lpn):
+            # Degraded pages live on the block path; promoting one would
+            # re-enable the MMIO path that keeps failing for it.
+            return 0
         ssd_page = self.ssd.host_page_of(lpn)
         vpn = self._ssd_page_to_vpn.get(ssd_page)
         if vpn is None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.memory_system import MappedRegion
+from repro.interconnect.pcie import PCIeFaultError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.hierarchy import FlatFlash
@@ -43,6 +44,9 @@ class PersistentRegion:
         stats = system.stats
         self._persist_stores = stats.counter("pmem.persist_stores")
         self._commits = stats.counter("pmem.commits")
+        # Post-crash reads that found no surviving flash copy: callers get
+        # None and must treat the bytes as lost, never as zeroes.
+        self._recover_failures = stats.counter("pmem.recover_failures")
 
     @property
     def size(self) -> int:
@@ -97,9 +101,37 @@ class PersistentRegion:
         pte = system.page_table.lookup(vpn)
         if pte is None or pte.ssd_page is None:
             raise KeyError(f"persistent page vpn={vpn} is not SSD-resident")
-        result = system.ssd.mmio_atomic(pte.ssd_page, offset % system.page_size, size)
-        system.clock.advance(result.latency_ns)
-        return result.latency_ns
+        retry = system.bridge.mmio_retry
+        page_offset = offset % system.page_size
+        extra_ns = 0
+        attempts = 1 if retry is None else retry.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                result = system.ssd.mmio_atomic(pte.ssd_page, page_offset, size)
+            except PCIeFaultError as fault:
+                extra_ns += fault.latency_ns
+                assert retry is not None  # faults only fire with a policy
+                if attempt < retry.max_retries:
+                    extra_ns += retry.backoff_ns(attempt)
+                continue
+            cost = result.latency_ns + extra_ns
+            system.clock.advance(cost)
+            return cost
+        # Retries exhausted: complete the update through the block path —
+        # a whole-page read-modify-write through the FTL, durable in flash.
+        assert retry is not None
+        retry.note_giveup()
+        lpn = system.ssd.resolve_lpn(pte.ssd_page)
+        page, read_cost = system.ssd.read_page_block(lpn)
+        write_cost = system.ssd.write_page_block(lpn, page)
+        cost = (
+            extra_ns
+            + system.config.latency.block_io_software_ns
+            + read_cost
+            + write_cost
+        )
+        system.clock.advance(cost)
+        return cost
 
     def load(self, offset: int, size: int) -> Optional[bytes]:
         """Read back region contents (normal load path)."""
@@ -118,6 +150,7 @@ class PersistentRegion:
         lpn = system.lpn_of_vpn(self.region.base_vpn + page)
         data = system.ssd.recover_read(lpn)
         if data is None:
+            self._recover_failures.add()
             return None
         return data[page_offset : page_offset + size]
 

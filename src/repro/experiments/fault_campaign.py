@@ -1,0 +1,40 @@
+"""Sweep cells for the simfault campaign (:mod:`repro.faults.campaign`).
+
+Each scenario of the fault matrix registers as one *data-only* cell —
+no markdown sections, so EXPERIMENTS.md is untouched — whose metrics
+surface the scenario's fault counters and problem count in
+``BENCH_sweep.json``.  A scenario with problems raises, failing the
+sweep loudly rather than burying a broken crash invariant in a metric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.campaign import SCENARIO_NAMES, run_campaign
+from repro.sweep.model import CellResult
+
+
+def run_fault_campaign(
+    seed: int = 0, smoke: bool = True, scenarios: Optional[List[str]] = None
+) -> dict:
+    """Public runner: the campaign report dict (see the campaign module)."""
+    return run_campaign(seed=seed, smoke=smoke, scenarios=scenarios)
+
+
+def scenario_cell(scenario: str, seed: int = 0) -> CellResult:
+    """One campaign scenario as a sweep cell (smoke scale, data-only)."""
+    report = run_fault_campaign(seed=seed, smoke=True, scenarios=[scenario])
+    entry = report["scenarios"][0]
+    if entry["problems"]:
+        raise AssertionError(
+            f"fault scenario {scenario!r} found problems: {entry['problems']}"
+        )
+    metrics = {f"faults.{scenario}.{key}": value for key, value in entry["metrics"].items()}
+    metrics[f"faults.{scenario}.problems"] = len(entry["problems"])
+    for key, value in entry["details"].items():
+        metrics[f"faults.{scenario}.{key}"] = value
+    return CellResult(sections=[], rows=[dict(entry["details"])], metrics=metrics)
+
+
+__all__ = ["SCENARIO_NAMES", "run_fault_campaign", "scenario_cell"]

@@ -1,0 +1,38 @@
+"""simfault: deterministic cross-layer fault injection (repro.faults).
+
+Three fault planes, all replayable byte-for-byte from a
+:class:`~repro.faults.plan.FaultPlan`:
+
+* **NAND** — per-operation bit-error / program-fail / erase-fail draws and
+  wear-triggered bad-block retirement inside the flash array, absorbed by
+  ECC retries and bad-block handling in the FTL/GC;
+* **PCIe** — MMIO timeout/corruption faults on the link, absorbed by the
+  host bridge's bounded retry + exponential backoff, with graceful
+  degradation to the block/DMA path for pages that keep failing;
+* **power loss** — a deadline armed on the simulation clock that halts the
+  run mid-workload; recovery restarts a fresh system from the surviving
+  flash image and checks application-level crash invariants.
+
+This package root imports only the leaf plan module (plus the clock's
+power-loss exception) so ``repro.config`` can depend on it without
+cycles; the power/recovery/campaign machinery is imported explicitly by
+its users.
+"""
+
+from repro.faults.plan import (
+    FAULT_SITES,
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.sim.clock import PowerLossTriggered
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PowerLossTriggered",
+]

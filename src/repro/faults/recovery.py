@@ -1,0 +1,69 @@
+"""Application-level crash-recovery invariants.
+
+Each checker returns a list of human-readable problems (empty = the
+invariant holds), in the same findings style as ``fsck``.  The campaign
+runner and the property-based tests share these so a violation reads the
+same everywhere.
+
+* :func:`check_wal_prefix` — *prefix durability*: whatever a write-ahead
+  log recovers after a crash must be an exact prefix of what was
+  appended; a torn or unfenced tail may be cut, but no record may be
+  altered, reordered, or resurrected.
+* :func:`check_log_monotonic` — a database-style commit log carrying
+  little-endian u64 sequence numbers must recover a strictly increasing,
+  gap-free run (each committed transaction depends on its predecessor).
+* :func:`check_flatfs` — after FlatFS redo recovery the file system's own
+  ``fsck`` must be clean.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+_U64 = struct.Struct("<Q")
+
+
+def check_wal_prefix(
+    appended: Sequence[bytes], recovered: Sequence[bytes]
+) -> List[str]:
+    """Problems with prefix durability of a recovered WAL."""
+    problems: List[str] = []
+    if len(recovered) > len(appended):
+        problems.append(
+            f"recovered {len(recovered)} records but only "
+            f"{len(appended)} were ever appended"
+        )
+    for index, (wrote, read) in enumerate(zip(appended, recovered)):
+        if wrote != read:
+            problems.append(
+                f"record {index} torn: appended {wrote!r} but recovered {read!r}"
+            )
+            break  # later records are downstream of the same corruption
+    return problems
+
+
+def check_log_monotonic(recovered: Sequence[bytes]) -> List[str]:
+    """Problems with a recovered u64 sequence-number log."""
+    problems: List[str] = []
+    previous = None
+    for index, payload in enumerate(recovered):
+        if len(payload) < _U64.size:
+            problems.append(
+                f"record {index} too short for a sequence number: {payload!r}"
+            )
+            return problems
+        value = _U64.unpack_from(payload)[0]
+        if previous is not None and value != previous + 1:
+            problems.append(
+                f"record {index}: sequence {value} after {previous} "
+                f"(must increase by exactly 1)"
+            )
+            return problems
+        previous = value
+    return problems
+
+
+def check_flatfs(fs) -> List[str]:
+    """Problems found by FlatFS's own consistency check (post-recovery)."""
+    return list(fs.fsck())

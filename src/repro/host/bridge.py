@@ -13,16 +13,101 @@ simulator it does three jobs:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.host.plb import PLB
 from repro.interconnect.pcie import BarWindow
 from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
-from repro.units import PFN, HostPage, OffsetBytes
+from repro.units import LPN, PFN, HostPage, OffsetBytes, TimeNs
 
 #: Bit position used to prefix physical addresses with the Persist flag.
 PERSIST_BIT_SHIFT = 62
+
+
+class MMIORetryPolicy:
+    """Bounded retry with exponential backoff for faulted MMIO accesses.
+
+    The bridge retries a failed MMIO transaction up to ``max_retries``
+    times, waiting ``backoff_base_ns * backoff_multiplier**attempt`` before
+    each retry.  Failures are tracked per *logical* page (lpn — stable
+    across GC relocation): after ``degraded_threshold`` consecutive
+    failures on one page, that page is degraded permanently to the
+    block/DMA path and its promotion is suppressed, so the system keeps
+    serving accesses at block-I/O latency instead of erroring.
+    """
+
+    def __init__(
+        self,
+        max_retries: int,
+        backoff_base_ns: int,
+        backoff_multiplier: int,
+        degraded_threshold: int,
+        stats: Optional[StatRegistry] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_ns < 0:
+            raise ValueError(f"backoff_base_ns must be >= 0, got {backoff_base_ns}")
+        if backoff_multiplier < 1:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {backoff_multiplier}"
+            )
+        if degraded_threshold < 1:
+            raise ValueError(
+                f"degraded_threshold must be >= 1, got {degraded_threshold}"
+            )
+        self.max_retries = max_retries
+        self.backoff_base_ns = backoff_base_ns
+        self.backoff_multiplier = backoff_multiplier
+        self.degraded_threshold = degraded_threshold
+        self.stats = stats if stats is not None else StatRegistry()
+        self._consecutive: Dict[LPN, int] = {}
+        self._degraded: Set[LPN] = set()
+        self._retries = self.stats.counter("bridge.mmio_retries")
+        self._failures = self.stats.counter("bridge.mmio_failures")
+        self._giveups = self.stats.counter("bridge.mmio_giveups")
+        self._backoff_ns = self.stats.counter("bridge.mmio_backoff_ns")
+        self._degraded_pages = self.stats.counter("bridge.degraded_pages")
+        self._degraded_accesses = self.stats.counter("bridge.degraded_accesses")
+
+    def backoff_ns(self, attempt: int) -> TimeNs:
+        """Wait before retry number ``attempt`` (zero-based)."""
+        wait = self.backoff_base_ns * self.backoff_multiplier**attempt
+        self._backoff_ns.add(wait)
+        self._retries.add()
+        return wait
+
+    def note_failure(self, lpn: LPN) -> bool:
+        """Record one failed MMIO transaction on a page; True if the page
+        just crossed the degradation threshold."""
+        self._failures.add()
+        count = self._consecutive.get(lpn, 0) + 1
+        self._consecutive[lpn] = count
+        if count >= self.degraded_threshold and lpn not in self._degraded:
+            self._degraded.add(lpn)
+            self._degraded_pages.add()
+            return True
+        return False
+
+    def note_success(self, lpn: LPN) -> None:
+        """An MMIO transaction completed: the consecutive-failure run ends."""
+        self._consecutive.pop(lpn, None)
+
+    def note_giveup(self) -> None:
+        """Retries exhausted without the page degrading: the access falls
+        back to the block path once, but MMIO stays enabled for the page."""
+        self._giveups.add()
+
+    def note_degraded_access(self) -> None:
+        self._degraded_accesses.add()
+
+    def is_degraded(self, lpn: LPN) -> bool:
+        return lpn in self._degraded
+
+    @property
+    def degraded_pages(self) -> int:
+        return len(self._degraded)
 
 
 class HostBridge:
@@ -51,6 +136,9 @@ class HostBridge:
         self.stats = stats if stats is not None else StatRegistry()
         self.persistence_sanitizer = persistence_sanitizer
         self.plb = PLB(plb_entries, stats=self.stats)
+        # Installed by FlatFlash when fault injection is active; None keeps
+        # the fault-free fast path byte-identical to the baseline.
+        self.mmio_retry: Optional[MMIORetryPolicy] = None
         self._to_dram = self.stats.counter("bridge.requests_to_dram")
         self._to_ssd = self.stats.counter("bridge.requests_to_ssd")
 

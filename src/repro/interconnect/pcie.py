@@ -22,12 +22,34 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.config import LatencyConfig
 from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
 from repro.units import TimeNs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.plan import FaultInjector
+
+
+class PCIeFaultError(RuntimeError):
+    """An injected PCIe fault dropped an MMIO transaction.
+
+    ``kind`` is ``"timeout"`` (the completion never arrived; the penalty is
+    the completion-timeout window) or ``"corrupt"`` (a poisoned/malformed
+    completion detected by the host bridge; normal transfer cost was paid).
+    Either way the operation did not take effect — posted write data never
+    landed, a read returned no usable data — and the host bridge's retry
+    policy decides what happens next.
+    """
+
+    def __init__(self, site: str, kind: str, latency_ns: int) -> None:
+        super().__init__(f"PCIe fault at {site}: {kind}")
+        self.site = site
+        self.kind = kind
+        #: Time the host observably lost on the failed transaction.
+        self.latency_ns = latency_ns
 
 
 class PCIeTransaction(enum.Enum):
@@ -77,6 +99,7 @@ class PCIeLink:
         cacheline_size: int = 64,
         stats: Optional[StatRegistry] = None,
         persistence_sanitizer: Optional[PersistenceSanitizer] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if cacheline_size <= 0:
             raise ValueError(f"cacheline_size must be > 0, got {cacheline_size}")
@@ -87,12 +110,35 @@ class PCIeLink:
         # orders them (the PCIe producer/consumer ordering rule the §3.5
         # write-verify fence relies on).
         self.persistence_sanitizer = persistence_sanitizer
+        self.faults = faults
         self._reads = self.stats.counter("pcie.mmio_reads")
         self._writes = self.stats.counter("pcie.mmio_writes")
         self._atomics = self.stats.counter("pcie.mmio_atomics")
         self._dma_ops = self.stats.counter("pcie.dma_ops")
         self._bytes_to_device = self.stats.counter("pcie.bytes_to_device")
         self._bytes_from_device = self.stats.counter("pcie.bytes_from_device")
+        self._timeouts = self.stats.counter("pcie.mmio_timeouts")
+        self._corruptions = self.stats.counter("pcie.mmio_corruptions")
+
+    def _maybe_fault(self, op: str, line_cost_ns: int) -> None:
+        """Draw the per-op fault sites; raises :class:`PCIeFaultError`.
+
+        Timeout is drawn first, then corrupt — two independent seeded
+        streams, so enabling one never reshuffles the other.  A faulted
+        transaction still occupies the link (traffic was already counted)
+        but is *not* announced to the persistence sanitizer: a dropped
+        posted write never lands, and a failed read orders nothing.
+        """
+        if self.faults is None:
+            return
+        if self.faults.fires(f"pcie.{op}.timeout"):
+            self._timeouts.add()
+            raise PCIeFaultError(
+                f"pcie.{op}", "timeout", self.latency.mmio_timeout_ns
+            )
+        if self.faults.fires(f"pcie.{op}.corrupt"):
+            self._corruptions.add()
+            raise PCIeFaultError(f"pcie.{op}", "corrupt", line_cost_ns)
 
     def _cachelines(self, size: int) -> int:
         if size <= 0:
@@ -104,6 +150,7 @@ class PCIeLink:
         lines = self._cachelines(size)
         self._reads.add(lines)
         self._bytes_from_device.add(size)
+        self._maybe_fault("mmio_read", lines * self.latency.mmio_read_cacheline_ns)
         if self.persistence_sanitizer is not None:
             self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
@@ -113,6 +160,7 @@ class PCIeLink:
         lines = self._cachelines(size)
         self._writes.add(lines)
         self._bytes_to_device.add(size)
+        self._maybe_fault("mmio_write", lines * self.latency.mmio_write_cacheline_ns)
         if self.persistence_sanitizer is not None:
             self.persistence_sanitizer.on_posted_tlp(lines)
         return lines * self.latency.mmio_write_cacheline_ns
@@ -123,6 +171,7 @@ class PCIeLink:
         self._atomics.add(1)
         self._bytes_to_device.add(size)
         self._bytes_from_device.add(size)
+        self._maybe_fault("mmio_atomic", lines * self.latency.mmio_read_cacheline_ns)
         if self.persistence_sanitizer is not None:
             self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns

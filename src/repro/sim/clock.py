@@ -17,10 +17,21 @@ NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
 
 
+class PowerLossTriggered(Exception):
+    """Raised by the clock when simulated time reaches an armed power-loss
+    deadline (see :mod:`repro.faults.power`).  The access that crossed the
+    deadline never completes — the exception unwinds to the injection
+    harness, which applies crash semantics and restarts the system."""
+
+    def __init__(self, at_ns: int) -> None:
+        super().__init__(f"power loss at t={at_ns}ns")
+        self.at_ns = at_ns
+
+
 class SimClock:
     """Monotonically non-decreasing simulated time in nanoseconds."""
 
-    __slots__ = ("_now", "_sanitizer")
+    __slots__ = ("_now", "_sanitizer", "_power_deadline")
 
     def __init__(
         self, start_ns: int = 0, sanitizer: Optional[ClockSanitizer] = None
@@ -31,6 +42,7 @@ class SimClock:
         if sanitizer is not None:
             sanitizer.on_reset(start_ns)
         self._now = int(start_ns)
+        self._power_deadline: Optional[int] = None
 
     @property
     def now(self) -> int:
@@ -58,6 +70,7 @@ class SimClock:
         if delta < 0:
             raise ValueError(f"cannot advance clock by negative delta: {delta}")
         self._now += delta
+        self._check_power_deadline()
         return self._now
 
     def advance_to(self, timestamp_ns: int) -> int:
@@ -67,7 +80,37 @@ class SimClock:
         timestamp = int(timestamp_ns)
         if timestamp > self._now:
             self._now = timestamp
+        self._check_power_deadline()
         return self._now
+
+    # ------------------------------------------------------------------ #
+    # Power-loss deadline (repro.faults.power)
+    # ------------------------------------------------------------------ #
+
+    def arm_power_loss(self, at_ns: int) -> None:
+        """Raise :class:`PowerLossTriggered` once time reaches ``at_ns``.
+
+        The operation whose time charge crosses the deadline is the one
+        interrupted; an already-passed deadline fires on the next advance.
+        """
+        if at_ns < 0:
+            raise ValueError(f"power-loss deadline must be >= 0, got {at_ns}")
+        self._power_deadline = int(at_ns)
+
+    def disarm_power_loss(self) -> None:
+        self._power_deadline = None
+
+    @property
+    def power_deadline(self) -> Optional[int]:
+        return self._power_deadline
+
+    def _check_power_deadline(self) -> None:
+        deadline = self._power_deadline
+        if deadline is not None and self._now >= deadline:
+            # Disarm first: crash handling on the dying system may still
+            # touch the clock and must not re-trigger.
+            self._power_deadline = None
+            raise PowerLossTriggered(deadline)
 
     def snapshot(self) -> dict:
         """Flat snapshot for schedule-perturbation diffs (see
@@ -81,6 +124,7 @@ class SimClock:
         if self._sanitizer is not None:
             self._sanitizer.on_reset(start_ns)
         self._now = int(start_ns)
+        self._power_deadline = None
 
     def __repr__(self) -> str:
         return f"SimClock(now={self._now}ns)"

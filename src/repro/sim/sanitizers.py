@@ -254,6 +254,39 @@ class FlashSanitizer:
             self._states[first + offset] = _SHADOW_ERASED
         self._erased_clean.add(block_index)
 
+    def on_program_fail(self, ppn: int) -> None:
+        """An injected program failure burned the page (it was announced via
+        :meth:`on_program` first, so the shadow holds PROGRAMMED)."""
+        if self._states[ppn] != _SHADOW_PROGRAMMED:
+            raise FlashSanitizerError(
+                f"program-fail on page ppn={ppn} whose shadow state is "
+                f"{self._state_name(ppn)}, not programmed: fault hooks must "
+                f"follow the announced program"
+            )
+        self._states[ppn] = _SHADOW_INVALID
+        self._valid_pages -= 1
+
+    def on_erase_fail(self, block_index: int) -> None:
+        """An injected erase failure retired the block as bad.  Its shadow
+        pages become INVALID — safe because a bad block is never programmed
+        or erased again, and accounting only counts PROGRAMMED pages."""
+        first = block_index * self._pages_per_block
+        for offset in range(self._pages_per_block):
+            self._states[first + offset] = _SHADOW_INVALID
+        self._erased_clean.discard(block_index)
+
+    def resync(self, states: "list[int]") -> None:
+        """Rebuild the shadow from authoritative page states (shadow codes
+        0/1/2) after a power-loss image restore."""
+        if len(states) != self._num_blocks * self._pages_per_block:
+            raise FlashSanitizerError(
+                f"resync with {len(states)} page states, expected "
+                f"{self._num_blocks * self._pages_per_block}"
+            )
+        self._states = bytearray(states)
+        self._valid_pages = sum(1 for s in states if s == _SHADOW_PROGRAMMED)
+        self._erased_clean.clear()
+
     def check_accounting(self, mapped_pages: int, context: str = "") -> None:
         """Valid (programmed) pages must equal live FTL mappings.
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.config import FlatFlashConfig
+from repro.faults.plan import FaultInjector
 from repro.interconnect.pcie import BarWindow, PCIeLink
 from repro.sim import domain_tags
 from repro.sim.sanitizers import FlashSanitizer, PersistenceSanitizer
@@ -94,6 +95,11 @@ class ByteAddressableSSD:
             PersistenceSanitizer() if config.sanitizers.persistence else None
         )
 
+        # Fault injection (repro.faults): constructed only when the config
+        # can ever fire a fault, so zero-rate runs take the exact baseline
+        # code paths.
+        self.faults = FaultInjector(config.faults) if config.faults.active else None
+
         ppb = geometry.flash_pages_per_block
         exported_blocks = -(-geometry.ssd_pages // ppb)
         spare = max(2, int(exported_blocks * geometry.flash_overprovision) + 1)
@@ -107,6 +113,7 @@ class ByteAddressableSSD:
             num_channels=geometry.flash_channels,
             stats=self.stats,
             sanitizer=self.flash_sanitizer,
+            faults=self.faults,
         )
         self.ftl = PageFTL(self.flash, overprovision=0.0, stats=self.stats)
         # Trim the export to exactly the configured capacity.
@@ -125,6 +132,7 @@ class ByteAddressableSSD:
             geometry.cacheline_size,
             stats=self.stats,
             persistence_sanitizer=self.persistence_sanitizer,
+            faults=self.faults,
         )
 
         # BAR spans the raw flash in host-merged mode (PTEs hold ppns) or
@@ -145,6 +153,10 @@ class ByteAddressableSSD:
         self._mmio_writes = self.stats.counter("ssd.mmio_writes")
         self._fills = self.stats.counter("ssd.cache_fills")
         self._durable_writes = self.stats.counter("ssd.durable_writes")
+        # Cacheable-MMIO fast-path misses: a peek/poke that could not be
+        # served coherently and fell back to a full MMIO transaction.
+        self._peek_misses = self.stats.counter("ssd.peek_misses")
+        self._poke_misses = self.stats.counter("ssd.poke_misses")
         # Posted persist-writes not yet fenced by a write-verify read: these
         # are the writes a power failure can lose (undo data kept so crash()
         # can revert them).  Cleared by verify_read().
@@ -301,6 +313,10 @@ class ByteAddressableSSD:
         lpn = self.resolve_lpn(host_page)
         self._mmio_writes.add()
         entry, fill_cost, hit = self._ensure_cached(lpn)
+        # Charge the link before touching device state: an injected PCIe
+        # fault (PCIeFaultError) means the posted write never landed, so
+        # nothing below may have happened yet.
+        cost = fill_cost + self.pcie.mmio_write_cost(size)
         if persist:
             old = None
             if entry.data is not None:
@@ -311,7 +327,6 @@ class ByteAddressableSSD:
         entry.dirty = True
         if entry.data is not None and data is not None:
             entry.data[offset : offset + size] = data
-        cost = fill_cost + self.pcie.mmio_write_cost(size)
         if persist:
             self._durable_writes.add()
         elif self.promotion_manager is not None:
@@ -329,6 +344,7 @@ class ByteAddressableSSD:
         lpn = self.resolve_lpn(host_page)
         entry = self.cache.peek(lpn)
         if entry is None or entry.data is None:
+            self._peek_misses.add()
             return None
         return bytes(entry.data[offset : offset + size])
 
@@ -341,6 +357,7 @@ class ByteAddressableSSD:
         lpn = self.resolve_lpn(host_page)
         entry = self.cache.peek(lpn)
         if entry is None:
+            self._poke_misses.add()
             return False
         entry.dirty = True
         if entry.data is not None:
@@ -351,8 +368,9 @@ class ByteAddressableSSD:
         """A PCIe atomic (read-modify-write round trip) against the page."""
         lpn = self.resolve_lpn(host_page)
         entry, fill_cost, hit = self._ensure_cached(lpn)
-        entry.dirty = True
+        # Link cost first: a faulted atomic aborts before mutating the entry.
         cost = fill_cost + self.pcie.mmio_atomic_cost(size)
+        entry.dirty = True
         self._durable_writes.add()
         return MMIOResult(cost, None, hit)
 
@@ -474,3 +492,32 @@ class ByteAddressableSSD:
         """Post-recovery read straight from flash (no cache, no timing)."""
         _ppn, data, _cost = self.ftl.read(lpn)
         return data
+
+    def flash_image(self) -> dict:
+        """Snapshot everything on the device that survives power loss:
+        the NAND array plus the FTL mapping/allocator state.  Taken after
+        :meth:`crash` it is the image a restarted system boots from."""
+        return {
+            "exported_pages": self.ftl.exported_pages,
+            "flash": self.flash.snapshot_state(),
+            "ftl": self.ftl.snapshot_state(),
+            "remap": dict(self._remap),
+        }
+
+    def load_flash_image(self, image: dict) -> None:
+        """Restore a :meth:`flash_image` snapshot into this device.
+
+        The device must have identical geometry (it is a fresh construction
+        from the same config).  The SSD-Cache is left empty — volatile
+        controller DRAM does not survive — and the flash sanitizer's shadow
+        is resynced to the restored page states.
+        """
+        if image["exported_pages"] != self.ftl.exported_pages:
+            raise ValueError(
+                f"flash image exports {image['exported_pages']} pages, "
+                f"device exports {self.ftl.exported_pages}"
+            )
+        self.flash.restore_state(image["flash"])
+        self.ftl.restore_state(image["ftl"])
+        self._remap = dict(image["remap"])
+        self._posted_log.clear()

@@ -13,13 +13,16 @@ Addresses here are *physical page numbers* (ppn), laid out block-major:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.config import LatencyConfig
 from repro.sim import domain_tags
 from repro.sim.sanitizers import FlashSanitizer
 from repro.sim.stats import StatRegistry
 from repro.units import PPN, BlockIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.plan import FaultInjector
 
 
 class FlashPageState(enum.Enum):
@@ -28,16 +31,28 @@ class FlashPageState(enum.Enum):
     INVALID = "invalid"
 
 
-class FlashBlock:
-    """One erase block: page states plus an erase counter."""
+#: Page-state encoding shared with the FlashSanitizer shadow (resync after
+#: a power-loss image restore).
+_SHADOW_CODE = {
+    FlashPageState.ERASED: 0,
+    FlashPageState.PROGRAMMED: 1,
+    FlashPageState.INVALID: 2,
+}
 
-    __slots__ = ("index", "pages_per_block", "states", "erase_count")
+
+class FlashBlock:
+    """One erase block: page states, an erase counter and a bad-block flag."""
+
+    __slots__ = ("index", "pages_per_block", "states", "erase_count", "bad")
 
     def __init__(self, index: int, pages_per_block: int) -> None:
         self.index = index
         self.pages_per_block = pages_per_block
         self.states: List[FlashPageState] = [FlashPageState.ERASED] * pages_per_block
         self.erase_count = 0
+        # Retired: an erase failed here, or the wear limit was reached.  Bad
+        # blocks never rejoin the free rotation and are skipped by GC.
+        self.bad = False
 
     @property
     def erased_pages(self) -> int:
@@ -65,6 +80,7 @@ class FlashArray:
         num_channels: int = 8,
         stats: Optional[StatRegistry] = None,
         sanitizer: Optional[FlashSanitizer] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if num_blocks <= 0 or pages_per_block <= 0 or page_size <= 0:
             raise ValueError(
@@ -84,10 +100,18 @@ class FlashArray:
         if sanitizer is not None:
             sanitizer.attach(num_blocks, pages_per_block)
         self._data: Dict[PPN, bytes] = {}
+        self.faults = faults
+        self.wear_limit = (
+            faults.config.nand_wear_limit if faults is not None else 0
+        )
         self.stats = stats if stats is not None else StatRegistry()
         self._reads = self.stats.counter("flash.page_reads")
         self._programs = self.stats.counter("flash.page_programs")
         self._erases = self.stats.counter("flash.block_erases")
+        self._read_faults = self.stats.counter("flash.read_faults")
+        self._program_fails = self.stats.counter("flash.program_fails")
+        self._erase_fails = self.stats.counter("flash.erase_fails")
+        self._wear_retired = self.stats.counter("flash.wear_retired_blocks")
 
     @property
     def total_pages(self) -> int:
@@ -114,13 +138,23 @@ class FlashArray:
 
     def read(self, ppn: PPN) -> "FlashOp":
         """Read one page.  Reading erased/invalid pages is allowed (the FTL
-        never does it, but raw tools may) and returns zeros."""
+        never does it, but raw tools may) and returns zeros.
+
+        Under fault injection a read may come back ``failed`` — an
+        uncorrectable-first-try ECC error.  The data is still carried (the
+        FTL's retry path decides whether to charge another read or escalate
+        to soft-decode recovery); callers that ignore ``failed`` see the
+        correct bytes, modelling ECC that eventually always corrects.
+        """
         self._check_ppn(ppn)
         self._reads.add()
         data = None
         if self.track_data:
             data = self._data.get(ppn, b"\x00" * self.page_size)
-        return FlashOp(self.latency.flash_read_page_ns, data)
+        failed = self.faults is not None and self.faults.fires("nand.read")
+        if failed:
+            self._read_faults.add()
+        return FlashOp(self.latency.flash_read_page_ns, data, failed=failed)
 
     def program(self, ppn: PPN, data: Optional[bytes] = None) -> "FlashOp":
         """Program one erased page.  Programming a non-erased page is a bug
@@ -136,6 +170,15 @@ class FlashArray:
             raise ValueError(
                 f"program data must be exactly {self.page_size} bytes, got {len(data)}"
             )
+        if self.faults is not None and self.faults.fires("nand.program"):
+            # Program failure burns the page: it goes straight to INVALID
+            # (unusable until its block is erased) and holds no data.  The
+            # FTL retries on the next frontier page.
+            block.states[offset] = FlashPageState.INVALID
+            self._program_fails.add()
+            if self.sanitizer is not None:
+                self.sanitizer.on_program_fail(ppn)
+            return FlashOp(self.latency.flash_program_page_ns, None, failed=True)
         block.states[offset] = FlashPageState.PROGRAMMED
         self._programs.add()
         if self.track_data:
@@ -161,12 +204,22 @@ class FlashArray:
         if not 0 <= block_index < self.num_blocks:
             raise ValueError(f"block {block_index} out of range [0, {self.num_blocks})")
         block = self.blocks[block_index]
+        if block.bad:
+            raise RuntimeError(f"erase of retired bad block {block_index}")
         if self.sanitizer is not None:
             self.sanitizer.on_erase(block_index)
         if block.valid_pages:
             raise RuntimeError(
                 f"erase of block {block_index} with {block.valid_pages} valid pages"
             )
+        if self.faults is not None and self.faults.fires("nand.erase"):
+            # Erase failure retires the whole block; its pages keep their
+            # (invalid/erased) states and never rejoin the rotation.
+            block.bad = True
+            self._erase_fails.add()
+            if self.sanitizer is not None:
+                self.sanitizer.on_erase_fail(block_index)
+            return FlashOp(self.latency.flash_erase_block_ns, None, failed=True)
         first = block_index * self.pages_per_block
         for offset in range(self.pages_per_block):
             block.states[offset] = FlashPageState.ERASED
@@ -174,6 +227,11 @@ class FlashArray:
                 self._data.pop(first + offset, None)
         block.erase_count += 1
         self._erases.add()
+        if self.wear_limit > 0 and block.erase_count >= self.wear_limit:
+            # Wear-triggered retirement: the erase itself succeeded (the
+            # block is clean), but its cells are end-of-life.
+            block.bad = True
+            self._wear_retired.add()
         return FlashOp(self.latency.flash_erase_block_ns, None)
 
     @property
@@ -188,15 +246,65 @@ class FlashArray:
     def max_erase_count(self) -> int:
         return max(block.erase_count for block in self.blocks)
 
+    # ------------------------------------------------------------------ #
+    # Image snapshot/restore (repro.faults.power)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> dict:
+        """Deep snapshot of the NAND image: page states, wear, bad-block
+        flags and page payloads.  Flash is non-volatile, so this is exactly
+        what survives a power cut."""
+        return {
+            "num_blocks": self.num_blocks,
+            "pages_per_block": self.pages_per_block,
+            "states": [list(block.states) for block in self.blocks],
+            "erase_counts": [block.erase_count for block in self.blocks],
+            "bad": [block.bad for block in self.blocks],
+            "data": dict(self._data),
+        }
+
+    def restore_state(self, image: dict) -> None:
+        """Load a :meth:`snapshot_state` image into this (same-geometry)
+        array and resync the flash sanitizer's shadow to match."""
+        if (
+            image["num_blocks"] != self.num_blocks
+            or image["pages_per_block"] != self.pages_per_block
+        ):
+            raise ValueError(
+                f"flash image geometry {image['num_blocks']}x"
+                f"{image['pages_per_block']} does not match array "
+                f"{self.num_blocks}x{self.pages_per_block}"
+            )
+        for block, states, erases, bad in zip(
+            self.blocks, image["states"], image["erase_counts"], image["bad"]
+        ):
+            block.states = list(states)
+            block.erase_count = int(erases)
+            block.bad = bool(bad)
+        self._data = dict(image["data"])
+        if self.sanitizer is not None:
+            codes: List[int] = []
+            for block in self.blocks:
+                codes.extend(_SHADOW_CODE[s] for s in block.states)
+            self.sanitizer.resync(codes)
+
 
 class FlashOp:
-    """Result of a flash operation: its cost and (for reads) the data."""
+    """Result of a flash operation: its cost, (for reads) the data, and
+    whether an injected fault made the operation fail."""
 
-    __slots__ = ("latency_ns", "data")
+    __slots__ = ("latency_ns", "data", "failed")
 
-    def __init__(self, latency_ns: int, data: Optional[bytes]) -> None:
+    def __init__(
+        self, latency_ns: int, data: Optional[bytes], failed: bool = False
+    ) -> None:
         self.latency_ns = latency_ns
         self.data = data
+        self.failed = failed
 
     def __repr__(self) -> str:
-        return f"FlashOp(latency={self.latency_ns}ns, data={'yes' if self.data else 'no'})"
+        return (
+            f"FlashOp(latency={self.latency_ns}ns, "
+            f"data={'yes' if self.data else 'no'}"
+            f"{', FAILED' if self.failed else ''})"
+        )

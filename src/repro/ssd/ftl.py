@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
-from repro.ssd.flash import FlashArray, FlashBlock, FlashPageState
+from repro.ssd.flash import FlashArray, FlashBlock, FlashOp, FlashPageState
 from repro.units import LPN, PPN, BlockIndex, TimeNs
 
 RelocateHook = Callable[[int, int, int], None]  # (lpn, old_ppn, new_ppn)
@@ -83,6 +83,12 @@ class PageFTL:
         self._gc_runs = self.stats.counter("ftl.gc_runs")
         self._wear_levelings = self.stats.counter("ftl.wear_levelings")
         self._trims = self.stats.counter("ftl.trims")
+        # Fault-handling work (repro.faults): ECC read retries, reads that
+        # exhausted retries and needed soft-decode rescue, and programs
+        # re-issued after a program failure burned a frontier page.
+        self._ecc_retries = self.stats.counter("ftl.ecc_retries")
+        self._ecc_hard_errors = self.stats.counter("ftl.ecc_hard_errors")
+        self._program_retries = self.stats.counter("ftl.program_retries")
 
     # ------------------------------------------------------------------ #
     # Mapping queries
@@ -167,8 +173,33 @@ class PageFTL:
     def read(self, lpn: LPN) -> Tuple[PPN, Optional[bytes], TimeNs]:
         """Read a logical page: returns (ppn, data, cost_ns)."""
         ppn = self.lookup(lpn)
-        op = self.flash.read(ppn)
+        op = self._read_with_ecc(ppn)
         return ppn, op.data, op.latency_ns
+
+    def _read_with_ecc(self, ppn: PPN) -> FlashOp:
+        """Read a page, retrying injected ECC errors.
+
+        A failed read is re-issued up to ``ecc_max_retries`` times (each
+        charged a full page read).  If every retry fails, the FTL escalates
+        to soft-decode recovery — modeled as always correcting at the cost
+        of two extra page-read latencies — so data is never lost, only
+        delayed; ``ftl.ecc_hard_errors`` counts the escalations.
+        """
+        op = self.flash.read(ppn)
+        if not op.failed:
+            return op
+        latency = op.latency_ns
+        faults = self.flash.faults
+        max_retries = faults.config.ecc_max_retries if faults is not None else 0
+        for _ in range(max_retries):
+            self._ecc_retries.add()
+            op = self.flash.read(ppn)
+            latency += op.latency_ns
+            if not op.failed:
+                return FlashOp(latency, op.data)
+        self._ecc_hard_errors.add()
+        latency += self.flash.latency.flash_read_page_ns * 2
+        return FlashOp(latency, op.data)
 
     def write(self, lpn: LPN, data: Optional[bytes] = None) -> Tuple[PPN, TimeNs]:
         """Out-of-place write of a logical page: returns (new_ppn, cost_ns)."""
@@ -181,9 +212,8 @@ class PageFTL:
         cost = 0
         if self.gc_needed():
             cost += self.collect_garbage()
-        new_ppn = self._next_free_ppn()
-        op = self.flash.program(new_ppn, data)
-        cost += op.latency_ns
+        new_ppn, program_cost = self._program_retrying(data)
+        cost += program_cost
         old_ppn = self.mapping.get(lpn)
         if old_ppn is not None:
             self.flash.invalidate(old_ppn)
@@ -198,6 +228,19 @@ class PageFTL:
             for hook in self._relocate_hooks:
                 hook(lpn, old_ppn, new_ppn)
         return new_ppn, cost
+
+    def _program_retrying(self, data: Optional[bytes]) -> Tuple[PPN, TimeNs]:
+        """Program ``data`` on the frontier, skipping pages whose program
+        operation fails (the array burns them to INVALID); returns the
+        first successfully programmed (ppn, cost_ns)."""
+        cost = 0
+        while True:
+            ppn = self._next_free_ppn()
+            op = self.flash.program(ppn, data)
+            cost += op.latency_ns
+            if not op.failed:
+                return ppn, cost
+            self._program_retries.add()
 
     def trim(self, lpn: LPN) -> None:
         """TRIM/discard: the host no longer needs this logical page.
@@ -225,6 +268,8 @@ class PageFTL:
         best_block: Optional[BlockIndex] = None
         best_key: Optional[Tuple[int, int]] = None
         for block in self.flash.blocks:
+            if block.bad:
+                continue
             if block.index == self._frontier_block:
                 continue
             if block.index in self._free_blocks:
@@ -263,16 +308,15 @@ class PageFTL:
             lpn = self.reverse.get(old_ppn)
             if lpn is None:
                 raise RuntimeError(f"valid page ppn={old_ppn} has no reverse mapping")
-            op = self.flash.read(old_ppn)
+            op = self._read_with_ecc(old_ppn)
             cost += op.latency_ns
             data = op.data
             if self.page_source is not None:
                 fresher = self.page_source(lpn)
                 if fresher is not None:
                     data = fresher
-            new_ppn = self._next_free_ppn()
-            program = self.flash.program(new_ppn, data)
-            cost += program.latency_ns
+            new_ppn, program_cost = self._program_retrying(data)
+            cost += program_cost
             self.flash.invalidate(old_ppn)
             del self.reverse[old_ppn]
             self.mapping[lpn] = new_ppn
@@ -282,7 +326,10 @@ class PageFTL:
                 hook(lpn, old_ppn, new_ppn)
         erase = self.flash.erase(victim)
         cost += erase.latency_ns
-        self._free_blocks.insert(0, victim)
+        if not erase.failed and not block.bad:
+            # A failed erase (or wear retirement during it) leaves the block
+            # bad: it never rejoins the free pool, shrinking spare capacity.
+            self._free_blocks.insert(0, victim)
         cost += self.maybe_level_wear()
         return cost
 
@@ -291,8 +338,13 @@ class PageFTL:
     # ------------------------------------------------------------------ #
 
     def wear_stats(self) -> dict:
-        """Erase-count spread across blocks: min/max/mean and imbalance."""
-        counts = [block.erase_count for block in self.flash.blocks]
+        """Erase-count spread across blocks: min/max/mean and imbalance.
+
+        Retired (bad) blocks are excluded — their wear is frozen and must
+        not pin the spread the leveler acts on."""
+        counts = [
+            block.erase_count for block in self.flash.blocks if not block.bad
+        ] or [0]
         mean = sum(counts) / len(counts)
         return {
             "min": min(counts),
@@ -315,6 +367,8 @@ class PageFTL:
             return 0
         coldest: Optional[FlashBlock] = None
         for block in self.flash.blocks:
+            if block.bad:
+                continue
             if block.index == self._frontier_block:
                 continue
             if block.index in self._free_blocks:
@@ -333,11 +387,10 @@ class PageFTL:
             lpn = self.reverse.get(old_ppn)
             if lpn is None:
                 continue
-            op = self.flash.read(old_ppn)
+            op = self._read_with_ecc(old_ppn)
             cost += op.latency_ns
-            new_ppn = self._next_free_ppn()
-            program = self.flash.program(new_ppn, op.data)
-            cost += program.latency_ns
+            new_ppn, program_cost = self._program_retrying(op.data)
+            cost += program_cost
             self.flash.invalidate(old_ppn)
             del self.reverse[old_ppn]
             self.mapping[lpn] = new_ppn
@@ -347,8 +400,33 @@ class PageFTL:
                 hook(lpn, old_ppn, new_ppn)
         erase = self.flash.erase(coldest.index)
         cost += erase.latency_ns
-        self._free_blocks.insert(0, coldest.index)
+        if not erase.failed and not coldest.bad:
+            self._free_blocks.insert(0, coldest.index)
         return cost
+
+    # ------------------------------------------------------------------ #
+    # Image snapshot/restore (repro.faults.power)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> dict:
+        """Mapping/allocator snapshot.  A real device journals its mapping
+        into flash OOB areas; the model snapshots it directly alongside the
+        NAND image so a post-power-loss restart can rebuild the FTL."""
+        return {
+            "mapping": dict(self.mapping),
+            "reverse": dict(self.reverse),
+            "free_blocks": list(self._free_blocks),
+            "frontier_block": self._frontier_block,
+            "frontier_offset": self._frontier_offset,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` image (flash must match)."""
+        self.mapping = dict(state["mapping"])
+        self.reverse = dict(state["reverse"])
+        self._free_blocks = list(state["free_blocks"])
+        self._frontier_block = state["frontier_block"]
+        self._frontier_offset = state["frontier_offset"]
 
     @property
     def write_amplification(self) -> float:

@@ -122,3 +122,9 @@ class GarbageCollector:
     @property
     def background_ns(self) -> int:
         return self._background_ns.value
+
+    @property
+    def retired_blocks(self) -> int:
+        """Blocks retired as bad — erase failures plus wear-limit hits
+        (repro.faults).  Spare capacity GC can no longer use."""
+        return sum(1 for block in self.flash.blocks if block.bad)

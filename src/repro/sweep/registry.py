@@ -199,6 +199,7 @@ def default_registry() -> Registry:
         ablations,
         breakdown,
         device_tech,
+        fault_campaign,
         fig8,
         fig9,
         fig10,
@@ -321,6 +322,19 @@ def default_registry() -> Registry:
     registry.register(
         Cell("breakdown", breakdown.cell, covers=("repro.experiments.breakdown:run",))
     )
+
+    # simfault campaign: one data-only cell per fault scenario (smoke
+    # scale).  They contribute no markdown, only metrics, so the committed
+    # EXPERIMENTS.md is byte-identical with or without them.
+    for scenario in fault_campaign.SCENARIO_NAMES:
+        registry.register(
+            Cell(
+                f"faults:{scenario}",
+                fault_campaign.scenario_cell,
+                params={"scenario": scenario},
+                covers=("repro.experiments.fault_campaign:run_fault_campaign",),
+            )
+        )
 
     registry.validate()
     return registry

@@ -1,0 +1,65 @@
+"""Campaign-level determinism and sweep integration for simfault."""
+
+import json
+
+import pytest
+
+from repro.experiments.fault_campaign import scenario_cell
+from repro.faults.campaign import SCENARIO_NAMES, render_report, run_campaign
+from repro.sweep.registry import default_registry
+
+
+def test_scenario_names_cover_all_planes():
+    assert "zero_faults" in SCENARIO_NAMES
+    assert "nand_soak" in SCENARIO_NAMES
+    assert "pcie_storm" in SCENARIO_NAMES
+    assert any(name.startswith("power_") for name in SCENARIO_NAMES)
+
+
+def test_smoke_campaign_is_clean_and_byte_identical():
+    first = render_report(run_campaign(seed=11, smoke=True))
+    second = render_report(run_campaign(seed=11, smoke=True))
+    assert first == second  # same seed + plan -> byte-identical report
+    report = json.loads(first)
+    assert report["problem_count"] == 0
+    assert report["seed"] == 11
+    assert [entry["name"] for entry in report["scenarios"]] == list(
+        SCENARIO_NAMES
+    )
+
+
+def test_different_seed_changes_probabilistic_scenarios():
+    base = run_campaign(seed=0, smoke=True, scenarios=["nand_soak"])
+    other = run_campaign(seed=1, smoke=True, scenarios=["nand_soak"])
+    assert base["scenarios"][0]["plan"] != other["scenarios"][0]["plan"]
+
+
+def test_report_is_sorted_and_newline_terminated():
+    text = render_report(run_campaign(seed=0, smoke=True, scenarios=["zero_faults"]))
+    assert text.endswith("\n")
+    assert text == json.dumps(json.loads(text), sort_keys=True, indent=2) + "\n"
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        run_campaign(scenarios=["nope"])
+
+
+def test_registry_has_one_cell_per_scenario():
+    registry = default_registry()
+    names = set(registry.names())
+    for scenario in SCENARIO_NAMES:
+        assert f"faults:{scenario}" in names
+
+
+def test_scenario_cell_is_data_only():
+    result = scenario_cell("zero_faults")
+    assert result.sections == []  # EXPERIMENTS.md must not change
+    assert result.metrics["faults.zero_faults.problems"] == 0
+
+
+def test_scenario_cell_surfaces_fault_metrics():
+    result = scenario_cell("nand_soak")
+    assert any(
+        key.startswith("faults.nand_soak.flash.") for key in result.metrics
+    )

@@ -508,6 +508,80 @@ def test_sl008_clean_none_default():
 
 
 # --------------------------------------------------------------------- #
+# SL009: fault draws must come from the injected seeded RNG
+# --------------------------------------------------------------------- #
+
+FAULTS_PATH = "repro/faults/chaos.py"
+
+
+def test_sl009_flags_stdlib_random_import():
+    violations = lint(
+        """
+        import random
+
+        def roll():
+            return random.random()
+        """,
+        path=FAULTS_PATH,
+        select=["SL009"],
+    )
+    assert codes(violations) == ["SL009"]
+
+
+def test_sl009_flags_unseeded_default_rng():
+    violations = lint(
+        """
+        import numpy as np
+
+        def make_stream():
+            return np.random.default_rng()
+        """,
+        path=FAULTS_PATH,
+        select=["SL009"],
+    )
+    assert codes(violations) == ["SL009"]
+
+
+def test_sl009_flags_legacy_numpy_global():
+    violations = lint(
+        """
+        import numpy as np
+
+        def roll():
+            return np.random.uniform()
+        """,
+        path=FAULTS_PATH,
+        select=["SL009"],
+    )
+    assert codes(violations) == ["SL009"]
+
+
+def test_sl009_clean_seeded_rng():
+    violations = lint(
+        """
+        import numpy as np
+
+        def make_stream(seed, site_hash):
+            return np.random.default_rng((seed, site_hash))
+        """,
+        path=FAULTS_PATH,
+        select=["SL009"],
+    )
+    assert violations == []
+
+
+def test_sl009_only_applies_inside_faults_package():
+    snippet = """
+        import random
+
+        def roll():
+            return random.random()
+        """
+    assert lint(snippet, path="repro/workloads/gen.py", select=["SL009"]) == []
+    assert codes(lint(snippet, path=FAULTS_PATH, select=["SL009"])) == ["SL009"]
+
+
+# --------------------------------------------------------------------- #
 # Suppression and scope machinery
 # --------------------------------------------------------------------- #
 
@@ -559,6 +633,7 @@ def test_rule_catalogue_is_complete():
         "SL006",
         "SL007",
         "SL008",
+        "SL009",
     ]
     for rule in RULES:
         assert rule.title
