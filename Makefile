@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint flow race faults bench experiments sweep examples all clean
+.PHONY: install test lint flow effects race faults bench experiments sweep examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -8,12 +8,15 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# simlint, simrace and simflow are in-tree and always run; ruff runs when
-# installed (CI installs it via the dev extras, bare environments may not).
+# simlint, simrace, simflow and simeffect are in-tree and always run; ruff
+# runs when installed (CI installs it via the dev extras, bare environments
+# may not).
 lint:
 	$(PYTHON) -m repro.analysis.simlint src/
 	$(PYTHON) -m repro.analysis.simrace src/
 	$(PYTHON) -m repro.analysis.simflow src/
+	$(PYTHON) -m repro.analysis.simeffect src/
+	$(PYTHON) -m repro.analysis.analyze --check-suppressions src/
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/; \
 	else \
@@ -23,6 +26,10 @@ lint:
 # Address-space & unit flow analysis alone (also part of `make lint`).
 flow:
 	$(PYTHON) -m repro.analysis.simflow src/
+
+# Interprocedural effect analysis + kernel-eligibility report (EFFECTS.json).
+effects:
+	$(PYTHON) -m repro.analysis.simeffect --report EFFECTS.json src/repro
 
 # Dynamic half of simrace: perturb DES schedules on the tiny OLTP config
 # and fail on any undocumented schedule-dependent stat.

@@ -1,0 +1,135 @@
+"""Per-analyzer wall-clock timing for the static-analysis family.
+
+Two entry points share one measurement core:
+
+* Under pytest-benchmark (``pytest benchmarks/bench_analyze.py
+  --benchmark-only``) each analyzer is one benchmark case, so analysis
+  cost shows up in the same report as the paper-shape experiments.
+* As a script (``python benchmarks/bench_analyze.py --output
+  BENCH_analyze.json``) it times every analyzer once and writes a small
+  JSON document — the artifact CI uploads so analyzer-cost regressions
+  are visible per commit.
+
+simeffect is whole-program (one call-graph fixpoint over the tree);
+the other three are per-file.  All four are timed over ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+ANALYZE_PATHS = [str(SRC / "repro")]
+
+
+def _simlint() -> int:
+    from repro.analysis.simlint.engine import lint_paths
+
+    return len(lint_paths(ANALYZE_PATHS))
+
+
+def _simrace() -> int:
+    from repro.analysis.simrace.engine import analyze_paths
+
+    return len(analyze_paths(ANALYZE_PATHS))
+
+
+def _simflow() -> int:
+    from repro.analysis.simflow.engine import analyze_paths
+
+    return len(analyze_paths(ANALYZE_PATHS))
+
+
+def _simeffect() -> int:
+    from repro.analysis.simeffect.engine import analyze_paths
+
+    return len(analyze_paths(ANALYZE_PATHS))
+
+
+def _simeffect_report() -> int:
+    from repro.analysis.simeffect.engine import report_for_paths
+
+    report = report_for_paths(ANALYZE_PATHS)
+    return int(report["summary"]["annotated"])
+
+
+ANALYZERS: Tuple[Tuple[str, Callable[[], int]], ...] = (
+    ("simlint", _simlint),
+    ("simrace", _simrace),
+    ("simflow", _simflow),
+    ("simeffect", _simeffect),
+    ("simeffect_report", _simeffect_report),
+)
+
+
+def time_analyzers() -> Dict[str, Dict[str, float]]:
+    """Run every analyzer once; returns {name: {seconds, result}}."""
+    timings: Dict[str, Dict[str, float]] = {}
+    for name, run in ANALYZERS:
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        timings[name] = {"seconds": round(elapsed, 4), "result": result}
+    return timings
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark cases
+# --------------------------------------------------------------------------
+
+
+def test_bench_simlint(once):
+    assert once(_simlint) == 0
+
+
+def test_bench_simrace(once):
+    assert once(_simrace) == 0
+
+
+def test_bench_simflow(once):
+    assert once(_simflow) == 0
+
+
+def test_bench_simeffect(once):
+    assert once(_simeffect) == 0
+
+
+def test_bench_simeffect_report(once):
+    assert once(_simeffect_report) > 0
+
+
+# --------------------------------------------------------------------------
+# Script mode: write BENCH_analyze.json for the CI artifact
+# --------------------------------------------------------------------------
+
+
+def main(argv: List[str]) -> int:
+    output = "BENCH_analyze.json"
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    timings = time_analyzers()
+    document = {
+        "schema_version": 1,
+        "paths": ["src/repro"],
+        "analyzers": timings,
+        "total_seconds": round(sum(t["seconds"] for t in timings.values()), 4),
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, timing in timings.items():
+        print(f"{name:>18}: {timing['seconds']:8.3f}s (result={timing['result']})")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

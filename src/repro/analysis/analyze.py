@@ -1,14 +1,25 @@
-"""Umbrella runner: simlint + simrace + simflow in one pass.
+"""Umbrella runner: simlint + simrace + simflow + simeffect in one pass.
 
-``python -m repro analyze [paths]`` runs all three static-analysis
+``python -m repro analyze [paths]`` runs all four static-analysis
 families over the same file set and merges their findings into a single
 report (or, with ``--json``, a single findings document in the shared
 schema of :mod:`repro.analysis.findings`, with each finding carrying a
-``tool`` field).  Exit status is 1 when any tool found anything.
+``tool`` field).  The first three tools are per-file; simeffect is
+whole-program — it parses the entire file set into one call graph before
+its rules fire.
+
+Exit status: 0 when clean, 1 when any tool found anything, and 2 when a
+tool *crashed* on a file — a crash means that file was never actually
+checked, so it must not be mistaken for a clean pass.
+
+``--check-suppressions`` audits ``# <tool>: disable=`` comments: each
+tool is re-run with its suppressions neutralized and any comment that no
+longer shields a finding is reported as ``SUP001``, keeping dead
+markers from accumulating.
 
 The merged document is also a valid ``--baseline`` snapshot: rule codes
-are disjoint across tools (SL/SR/SF), so one baseline file can cover all
-three analyses at once.
+are disjoint across tools (SL/SR/SF/SE), so one baseline file can cover
+all four analyses at once.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ import argparse
 import json
 import sys
 from dataclasses import asdict
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import (
@@ -26,33 +38,147 @@ from repro.analysis.findings import (
     filter_baseline,
     iter_python_files,
     load_baseline,
+    strip_suppression_comments,
+    unused_suppressions,
 )
+from repro.analysis.simeffect.engine import analyze_sources as _effect_sources
 from repro.analysis.simflow.engine import analyze_file as _flow_file
+from repro.analysis.simflow.engine import analyze_source as _flow_source
 from repro.analysis.simlint.engine import lint_file as _lint_file
+from repro.analysis.simlint.engine import lint_source as _lint_source
 from repro.analysis.simrace.engine import analyze_file as _race_file
+from repro.analysis.simrace.engine import analyze_source as _race_source
 
-#: The analysis families the umbrella runs, in report order.
+#: The per-file analysis families the umbrella runs, in report order.
 TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
     ("simlint", _lint_file),
     ("simrace", _race_file),
     ("simflow", _flow_file),
 )
 
+#: Source-string variants of the per-file tools (suppression auditing).
+SOURCE_TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
+    ("simlint", _lint_source),
+    ("simrace", _race_source),
+    ("simflow", _flow_source),
+)
 
-def run_all(paths: Sequence[str]) -> Tuple[Dict[str, List[Violation]], int]:
-    """Run every tool over ``paths``; returns (per-tool findings, #files)."""
+#: Whole-program tools run once over the full file set.
+PROGRAM_TOOL = "simeffect"
+
+
+class Crash:
+    """One analyzer failure: the file was not actually checked."""
+
+    __slots__ = ("tool", "path", "error")
+
+    def __init__(self, tool: str, path: str, error: BaseException) -> None:
+        self.tool = tool
+        self.path = path
+        self.error = f"{type(error).__name__}: {error}"
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"tool": self.tool, "path": self.path, "error": self.error}
+
+    def format(self) -> str:
+        return f"{self.tool}: CRASH analyzing {self.path}: {self.error}"
+
+
+def _read(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+def run_all(
+    paths: Sequence[str],
+) -> Tuple[Dict[str, List[Violation]], int, List[Crash]]:
+    """Run every tool over ``paths``.
+
+    Returns ``(per-tool findings, #files, crashes)``.  A tool raising on
+    a file is recorded as a crash instead of aborting the whole run, so
+    one bad file can't hide every other tool's findings — but the caller
+    must exit non-zero, because the crashed (tool, file) pair was never
+    actually analyzed.
+    """
     files = iter_python_files(paths)
     per_tool: Dict[str, List[Violation]] = {}
+    crashes: List[Crash] = []
     for tool, analyze in TOOLS:
         violations: List[Violation] = []
         for path in files:
-            violations.extend(analyze(path))
+            try:
+                violations.extend(analyze(path))
+            except Exception as error:  # pragma: no cover - exercised via tests
+                crashes.append(Crash(tool, str(path), error))
         per_tool[tool] = violations
-    return per_tool, len(files)
+    try:
+        sources = [(str(path), _read(path)) for path in files]
+        per_tool[PROGRAM_TOOL] = _effect_sources(sources)
+    except Exception as error:
+        crashes.append(Crash(PROGRAM_TOOL, "<whole-program>", error))
+        per_tool[PROGRAM_TOOL] = []
+    return per_tool, len(files), crashes
+
+
+def check_suppressions(paths: Sequence[str]) -> Tuple[List[Violation], List[Crash]]:
+    """Audit suppression comments under ``paths``; stale ones → SUP001.
+
+    Each tool is re-run with its ``# <tool>: disable`` markers
+    neutralized; a marker whose line then shows no finding of the listed
+    codes is stale.  Findings keep the tool name in the message so mixed
+    reports stay readable.
+    """
+    files = iter_python_files(paths)
+    stale: List[Violation] = []
+    crashes: List[Crash] = []
+    sources = [(str(path), _read(path)) for path in files]
+    for (path_str, source) in sources:
+        lines = source.splitlines()
+        for tool, analyze_source in SOURCE_TOOLS:
+            try:
+                raw = analyze_source(
+                    strip_suppression_comments(source, tool), path=path_str
+                )
+            except Exception as error:  # pragma: no cover - exercised via tests
+                crashes.append(Crash(tool, path_str, error))
+                continue
+            for violation in unused_suppressions(path_str, lines, tool, raw):
+                stale.append(
+                    Violation(
+                        violation.path,
+                        violation.line,
+                        violation.col,
+                        violation.code,
+                        f"[{tool}] {violation.message}",
+                    )
+                )
+    try:
+        raw_effect = _effect_sources(sources, apply_suppressions=False)
+    except Exception as error:
+        crashes.append(Crash(PROGRAM_TOOL, "<whole-program>", error))
+        raw_effect = None
+    if raw_effect is not None:
+        for (path_str, source) in sources:
+            lines = source.splitlines()
+            for violation in unused_suppressions(
+                path_str, lines, PROGRAM_TOOL, raw_effect
+            ):
+                stale.append(
+                    Violation(
+                        violation.path,
+                        violation.line,
+                        violation.col,
+                        violation.code,
+                        f"[{PROGRAM_TOOL}] {violation.message}",
+                    )
+                )
+    stale.sort(key=lambda v: (v.path, v.line, v.col, v.message))
+    return stale, crashes
 
 
 def merged_document(
-    per_tool: Dict[str, List[Violation]], files_checked: int
+    per_tool: Dict[str, List[Violation]],
+    files_checked: int,
+    crashes: Sequence[Crash] = (),
 ) -> Dict[str, object]:
     """The merged findings document (shared schema + per-finding ``tool``)."""
     findings: List[Dict[str, object]] = []
@@ -62,14 +188,17 @@ def merged_document(
             entry["tool"] = tool
             findings.append(entry)
     findings.sort(key=lambda f: (f["path"], f["line"], f["col"], f["code"]))
-    return {
+    document: Dict[str, object] = {
         "tool": "analyze",
         "schema_version": SCHEMA_VERSION,
         "count": len(findings),
         "files_checked": files_checked,
-        "by_tool": {tool: len(per_tool[tool]) for tool, _ in TOOLS},
+        "by_tool": {tool: len(violations) for tool, violations in per_tool.items()},
         "findings": findings,
     }
+    if crashes:
+        document["crashes"] = [crash.as_dict() for crash in crashes]
+    return document
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -84,14 +213,24 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit the merged findings document as JSON",
     )
+    parser.add_argument(
+        "--check-suppressions",
+        action="store_true",
+        help="also flag stale '# <tool>: disable=' comments (SUP001)",
+    )
     add_baseline_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
-    per_tool, files_checked = run_all(args.paths)
+    per_tool, files_checked, crashes = run_all(args.paths)
+
+    if getattr(args, "check_suppressions", False):
+        stale, stale_crashes = check_suppressions(args.paths)
+        per_tool["suppressions"] = stale
+        crashes.extend(stale_crashes)
 
     if getattr(args, "write_baseline", None):
-        document = merged_document(per_tool, files_checked)
+        document = merged_document(per_tool, files_checked, crashes)
         with open(args.write_baseline, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -99,7 +238,7 @@ def run(args: argparse.Namespace) -> int:
             f"analyze: wrote baseline with {document['count']} finding(s) "
             f"to {args.write_baseline}"
         )
-        return 0
+        return 2 if crashes else 0
     if getattr(args, "baseline", None):
         keys = load_baseline(args.baseline)
         per_tool = {
@@ -109,24 +248,43 @@ def run(args: argparse.Namespace) -> int:
 
     total = sum(len(v) for v in per_tool.values())
     if args.json:
-        print(json.dumps(merged_document(per_tool, files_checked), indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                merged_document(per_tool, files_checked, crashes),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        if crashes:
+            return 2
         return 1 if total else 0
 
-    for tool, _ in TOOLS:
+    for tool in per_tool:
         for violation in per_tool[tool]:
             print(f"{tool}: {violation.format()}")
-    summary = ", ".join(f"{tool}: {len(per_tool[tool])}" for tool, _ in TOOLS)
+    for crash in crashes:
+        print(crash.format(), file=sys.stderr)
+    summary = ", ".join(f"{tool}: {len(per_tool[tool])}" for tool in per_tool)
+    if crashes:
+        print(
+            f"\nanalyze: {len(crashes)} tool crash(es) — "
+            f"the affected files were NOT fully analyzed",
+            file=sys.stderr,
+        )
+        return 2
     if total:
         print(f"\nanalyze: {total} violation(s) in {files_checked} file(s) ({summary})")
         return 1
-    print(f"analyze: {files_checked} file(s) clean across {len(TOOLS)} tools")
+    print(f"analyze: {files_checked} file(s) clean across {len(per_tool)} tools")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.analyze",
-        description="Run simlint + simrace + simflow and merge their findings.",
+        description=(
+            "Run simlint + simrace + simflow + simeffect and merge their findings."
+        ),
     )
     configure_parser(parser)
     return run(parser.parse_args(argv))

@@ -12,6 +12,10 @@ without caring which produced it:
   (``{"tool", "schema_version", "count", "files_checked", "findings"}``).
 * :func:`parse_suppressions` — per-line ``# <tool>: disable=CODE``
   comment parsing; both tools use identical suppression syntax.
+* :func:`strip_suppression_comments` / :func:`unused_suppressions` —
+  stale-suppression detection (``SUP001``): re-run a tool with
+  suppressions neutralized and flag the comments that no longer shield
+  any finding, so dead ``disable=`` markers can't accumulate.
 * :func:`iter_python_files` — file/directory expansion for the CLIs.
 * :func:`load_baseline` / :func:`write_baseline` /
   :func:`filter_baseline` — ``--baseline`` support: snapshot the
@@ -90,6 +94,74 @@ def parse_suppressions(lines: Sequence[str], tool: str) -> Dict[int, Set[str]]:
         else:
             table[number] = {c.strip().upper() for c in codes.split(",") if c.strip()}
     return table
+
+
+#: Rule code for a suppression comment that suppresses nothing.
+UNUSED_SUPPRESSION_CODE = "SUP001"
+
+
+def strip_suppression_comments(source: str, tool: str) -> str:
+    """Neutralize every ``# <tool>: disable`` comment in ``source``.
+
+    Each marker is replaced by a bare ``#`` so line numbers (and the fact
+    that the tail of the line is a comment) are preserved; re-running a
+    tool over the stripped source yields the findings the suppressions
+    were hiding.
+    """
+    pattern = _suppress_re(tool)
+    return "\n".join(pattern.sub("#", line) for line in source.splitlines())
+
+
+def unused_suppressions(
+    path: str,
+    lines: Sequence[str],
+    tool: str,
+    raw_violations: Sequence[Violation],
+) -> List[Violation]:
+    """Suppression comments in ``lines`` that shield no actual finding.
+
+    ``raw_violations`` must be the tool's findings for this file with
+    suppressions *disabled* (e.g. via :func:`strip_suppression_comments`).
+    Returns one ``SUP001`` violation per stale comment: either no finding
+    exists on the line at all, or specific codes are listed and none of
+    them fires there.
+    """
+    table = parse_suppressions(lines, tool)
+    by_line: Dict[int, Set[str]] = {}
+    for violation in raw_violations:
+        if violation.path == path:
+            by_line.setdefault(violation.line, set()).add(violation.code)
+    stale: List[Violation] = []
+    for number in sorted(table):
+        codes = table[number]
+        fired = by_line.get(number, set())
+        if ALL_CODES in codes:
+            if not fired:
+                stale.append(
+                    Violation(
+                        path,
+                        number,
+                        0,
+                        UNUSED_SUPPRESSION_CODE,
+                        f"unused suppression: no {tool} finding on this line",
+                    )
+                )
+            continue
+        unused = sorted(codes - fired)
+        if unused:
+            stale.append(
+                Violation(
+                    path,
+                    number,
+                    0,
+                    UNUSED_SUPPRESSION_CODE,
+                    (
+                        f"unused suppression: {', '.join(unused)} "
+                        f"never fire(s) on this line"
+                    ),
+                )
+            )
+    return stale
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:

@@ -1,7 +1,7 @@
 """simflow engine: file walking, suppression handling, checker dispatch.
 
 Mirrors the simlint engine: parse each file once, compute the per-line
-``# simflow: disable=SF001`` suppression table, decide sim scope, and
+``simflow: disable=SF001`` comment suppression table, decide sim scope, and
 run the flow checker (:func:`repro.analysis.simflow.model.check_module`)
 over it.  All SF rules are sim-scope-only — the address-domain
 discipline they police applies to the simulator layers, not to

@@ -6,7 +6,7 @@ Usage::
     python -m repro.analysis.simlint --list-rules   # show the rule catalogue
 
 See ``docs/static_analysis.md`` for the rule catalogue and suppression
-syntax (``# simlint: disable=SL001``).
+syntax (a ``simlint: disable=SL001`` comment).
 """
 
 from repro.analysis.simlint.engine import (

@@ -1,7 +1,7 @@
 """simlint engine: file walking, suppression parsing, rule dispatch.
 
 The engine is deliberately small — it parses each file once, computes the
-per-line suppression table (``# simlint: disable=SL001`` comments), decides
+per-line suppression table (``simlint: disable=SL001`` comments), decides
 whether the file is inside the *simulation scope* (the layers whose timing
 and state discipline the lint rules police), and hands the AST to every
 registered rule.  Rules live in :mod:`repro.analysis.simlint.rules`.

@@ -2,7 +2,7 @@
 
 Every rule carries a stable ``SL###`` code (documented in
 ``docs/static_analysis.md``) and can be silenced on a single line with
-``# simlint: disable=SL###``.  Rules marked ``sim_scope_only`` run only on
+a ``simlint: disable=SL###`` comment.  Rules marked ``sim_scope_only`` run only on
 files under ``repro/{sim,ssd,host,core,interconnect}/`` — the layers whose
 timing and state discipline the simulator's credibility depends on.
 """

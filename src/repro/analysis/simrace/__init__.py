@@ -12,7 +12,7 @@ catalogue (see ``docs/static_analysis.md``):
 * SR004 — unlocked write to an object captured by multiple processes
 
 Run it with ``python -m repro.analysis.simrace src/``; suppress a
-finding with a ``# simrace: disable=SR001`` comment on the flagged line.
+finding with a ``simrace: disable=SR001`` comment on the flagged line.
 """
 
 from repro.analysis.findings import Violation

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.config import FlatFlashConfig
 from repro.core.memory_system import AccessResult, MemorySystem
+from repro.effects import effects
 from repro.core.promotion import PromotionManager
 from repro.host.bridge import HostBridge, MMIORetryPolicy
 from repro.host.cpu_cache import CPUCache
@@ -163,6 +164,9 @@ class FlatFlash(MemorySystem):
     # Access path
     # ------------------------------------------------------------------ #
 
+    @effects(
+        "READS_CLOCK", "MUTATES_STATE", "MUTATES_STATS", "PERSISTS", "FAULT_HOOK"
+    )
     def _access_page(
         self, vpn: VPN, offset: OffsetBytes, size: int, is_write: bool, data: Optional[bytes]
     ) -> AccessResult:
@@ -194,6 +198,9 @@ class FlatFlash(MemorySystem):
         payload = self.dram.read_bytes(frame, offset, size)
         return AccessResult(latency.dram_load_ns, "dram", data=payload)
 
+    @effects(
+        "READS_CLOCK", "MUTATES_STATE", "MUTATES_STATS", "PERSISTS", "FAULT_HOOK"
+    )
     def _ssd_access(
         self,
         pte: PageTableEntry,
@@ -404,6 +411,7 @@ class FlatFlash(MemorySystem):
                 )
             entry.inbound_pos += 1
 
+    @effects("READS_CLOCK", "MUTATES_STATE", "MUTATES_STATS", "FAULT_HOOK")
     def _plb_access(
         self,
         flight: _InFlightPromotion,
@@ -496,6 +504,9 @@ class FlatFlash(MemorySystem):
         retry.note_giveup()
         return cost
 
+    @effects(
+        "READS_CLOCK", "MUTATES_STATE", "MUTATES_STATS", "PERSISTS", "FAULT_HOOK"
+    )
     def _start_promotion(self, lpn: LPN) -> TimeNs:
         """Kick off one promotion; returns the stall charged to the access
         (nonzero only in the PLB-disabled ablation)."""
@@ -693,6 +704,7 @@ class FlatFlash(MemorySystem):
     # Maintenance / introspection
     # ------------------------------------------------------------------ #
 
+    @effects("READS_CLOCK", "MUTATES_STATE", "MUTATES_STATS")
     def quiesce(self) -> None:
         """Finish all in-flight promotions (end-of-experiment settling)."""
         for flight in list(self._in_flight.values()):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from repro.effects import effects, kernel
 from repro.host.plb import PLB
 from repro.interconnect.pcie import BarWindow
 from repro.sim.sanitizers import PersistenceSanitizer
@@ -71,6 +72,7 @@ class MMIORetryPolicy:
         self._degraded_pages = self.stats.counter("bridge.degraded_pages")
         self._degraded_accesses = self.stats.counter("bridge.degraded_accesses")
 
+    @effects("MUTATES_STATS")
     def backoff_ns(self, attempt: int) -> TimeNs:
         """Wait before retry number ``attempt`` (zero-based)."""
         wait = self.backoff_base_ns * self.backoff_multiplier**attempt
@@ -78,6 +80,7 @@ class MMIORetryPolicy:
         self._retries.add()
         return wait
 
+    @effects("MUTATES_STATE", "MUTATES_STATS")
     def note_failure(self, lpn: LPN) -> bool:
         """Record one failed MMIO transaction on a page; True if the page
         just crossed the degradation threshold."""
@@ -156,6 +159,7 @@ class HostBridge:
     # ------------------------------------------------------------------ #
 
     @staticmethod
+    @kernel
     def tag_persist(phys_addr: int, persist: bool) -> int:
         """Prefix a physical address with the P bit (done at translation)."""
         if persist:
@@ -163,6 +167,7 @@ class HostBridge:
         return phys_addr
 
     @staticmethod
+    @kernel
     def split_persist(tagged_addr: int) -> Tuple[int, bool]:
         """Mask the P bit out of a tagged address: (address, persist)."""
         persist = bool(tagged_addr & (1 << PERSIST_BIT_SHIFT))
@@ -172,6 +177,7 @@ class HostBridge:
     # Routing
     # ------------------------------------------------------------------ #
 
+    @effects("MUTATES_STATS")
     def route(self, tagged_addr: int) -> Tuple[str, int, int, bool]:
         """Classify a (possibly P-tagged) physical address.
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Tuple
 
+from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
 from repro.units import PFN, VPN, HostPage, TimeNs
@@ -86,6 +87,7 @@ class PageTable:
         self.stats = stats if stats is not None else StatRegistry()
         self._walks = self.stats.counter("page_table.walks")
 
+    @effects("MUTATES_STATE")
     def entry(self, vpn: VPN) -> PageTableEntry:
         """The PTE for ``vpn``, created on first reference."""
         domain_tags.check(vpn, "VPN", "PageTable.entry")
@@ -95,10 +97,12 @@ class PageTable:
             self._entries[vpn] = pte
         return pte
 
+    @kernel
     def lookup(self, vpn: VPN) -> Optional[PageTableEntry]:
         """The PTE if it exists, without creating one."""
         return self._entries.get(vpn)
 
+    @kernel(may_raise=("KeyError", "DomainTagError"))
     def walk(self, vpn: VPN) -> Tuple[PageTableEntry, TimeNs]:
         """A hardware page-table walk: returns (PTE, cost in ns)."""
         domain_tags.check(vpn, "VPN", "PageTable.walk")

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
 from repro.units import VPN, TimeNs
@@ -42,6 +43,7 @@ class TLB:
         self._shootdowns = self.stats.counter("tlb.shootdowns")
         self._batch_updates = self.stats.counter("tlb.batch_updates")
 
+    @kernel
     def lookup(self, vpn: VPN) -> bool:
         """True on a TLB hit; hit entries become most-recently used."""
         if vpn in self._cached:
@@ -51,6 +53,7 @@ class TLB:
         self._hits.record(False)
         return False
 
+    @kernel(may_raise=("DomainTagError",))
     def fill(self, vpn: VPN) -> None:
         """Install a translation after a walk, evicting LRU if full."""
         domain_tags.check(vpn, "VPN", "TLB.fill")
@@ -61,12 +64,14 @@ class TLB:
             self._cached.popitem(last=False)
         self._cached[vpn] = None
 
+    @effects("MUTATES_STATE", "MUTATES_STATS")
     def invalidate(self, vpn: VPN) -> TimeNs:
         """Shoot down one translation; returns the cost in ns."""
         self._shootdowns.add()
         self._cached.pop(vpn, None)
         return self.shootdown_cost_ns
 
+    @effects("MUTATES_STATE", "MUTATES_STATS")
     def batch_invalidate(self, vpns: Iterable[VPN]) -> TimeNs:
         """Lazily propagate a batch of address changes with one interrupt.
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.config import LatencyConfig
+from repro.effects import effects, kernel
 from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
 from repro.units import TimeNs
@@ -78,9 +79,11 @@ class BarWindow:
         """One past the last byte of the window."""
         return self.base + self.size
 
+    @kernel
     def contains(self, phys_addr: int) -> bool:
         return self.base <= phys_addr < self.end
 
+    @kernel(may_raise=("ValueError",))
     def offset_of(self, phys_addr: int) -> int:
         """Device-relative offset of a host physical address."""
         if not self.contains(phys_addr):
@@ -145,6 +148,7 @@ class PCIeLink:
             raise ValueError(f"transfer size must be > 0, got {size}")
         return -(-size // self.cacheline_size)  # ceiling division
 
+    @effects("MUTATES_STATE", "MUTATES_STATS", "FAULT_HOOK")
     def mmio_read_cost(self, size: int) -> TimeNs:
         """Cost of a non-posted MMIO read of ``size`` bytes."""
         lines = self._cachelines(size)
@@ -155,6 +159,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
 
+    @effects("MUTATES_STATE", "MUTATES_STATS", "FAULT_HOOK")
     def mmio_write_cost(self, size: int) -> TimeNs:
         """Cost of a posted MMIO write of ``size`` bytes."""
         lines = self._cachelines(size)
@@ -165,6 +170,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_posted_tlp(lines)
         return lines * self.latency.mmio_write_cacheline_ns
 
+    @effects("MUTATES_STATE", "MUTATES_STATS", "FAULT_HOOK")
     def mmio_atomic_cost(self, size: int) -> TimeNs:
         """Cost of a PCIe atomic (round trip: behaves like a read)."""
         lines = self._cachelines(size)
@@ -176,6 +182,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_ordering_read()
         return lines * self.latency.mmio_read_cacheline_ns
 
+    @effects("MUTATES_STATE", "MUTATES_STATS")
     def verify_read_cost(self) -> TimeNs:
         """Cost of the write-verify read flushing posted writes (§3.5)."""
         self._reads.add(1)
@@ -184,6 +191,7 @@ class PCIeLink:
             self.persistence_sanitizer.on_ordering_read()
         return self.latency.mmio_verify_read_ns
 
+    @effects("MUTATES_STATS")
     def dma_to_host_cost(self, size: int) -> TimeNs:
         """Cost of a device-initiated DMA into host DRAM (page promotion)."""
         pages = self._cachelines(size) * self.cacheline_size
@@ -194,6 +202,7 @@ class PCIeLink:
         chunks = -(-pages // chunk)
         return chunks * self.latency.dma_page_transfer_ns
 
+    @effects("MUTATES_STATS")
     def dma_from_host_cost(self, size: int) -> TimeNs:
         """Cost of a DMA from host DRAM into the device (page write-back)."""
         self._dma_ops.add(1)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
 from repro.ssd.rrip import RRIPSet
@@ -121,9 +122,11 @@ class SSDCache:
     def _set_of(self, lpn: LPN) -> int:
         return lpn % self.num_sets
 
+    @kernel
     def contains(self, lpn: LPN) -> bool:
         return lpn in self._where
 
+    @kernel(may_raise=("DomainTagError", "ValueError"))
     def lookup(self, lpn: LPN, record: bool = True) -> Optional[CacheEntry]:
         """Find a cached page; a hit refreshes the replacement state."""
         domain_tags.check(lpn, "LPN", "SSDCache.lookup")
@@ -138,10 +141,12 @@ class SSDCache:
             self._policies[set_index].on_hit(way)
         return self._entries[set_index][way]
 
+    @kernel(may_raise=("DomainTagError", "ValueError"))
     def peek(self, lpn: LPN) -> Optional[CacheEntry]:
         """Find a cached page without touching replacement or hit stats."""
         return self.lookup(lpn, record=False)
 
+    @effects("MUTATES_STATE", "MUTATES_STATS")
     def insert(
         self, lpn: LPN, data: Optional[bytes] = None, dirty: bool = False
     ) -> Optional[CacheEntry]:

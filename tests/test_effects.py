@@ -1,0 +1,102 @@
+"""Runtime behavior of the declared effect contracts (repro.effects).
+
+Both decorators are metadata-only: they must not wrap, rename, or slow
+down the decorated function — simeffect reads them syntactically and
+these attributes exist for reflective tooling only.
+"""
+
+import pytest
+
+from repro.effects import EFFECTS, KERNEL_SAFE_EFFECTS, effects, kernel
+
+
+def test_effect_vocabulary():
+    assert EFFECTS == {
+        "READS_CLOCK",
+        "ADVANCES_CLOCK",
+        "YIELDS",
+        "RNG",
+        "MUTATES_STATS",
+        "MUTATES_STATE",
+        "PERSISTS",
+        "FAULT_HOOK",
+    }
+
+
+def test_kernel_safe_subset():
+    assert KERNEL_SAFE_EFFECTS == {"MUTATES_STATE", "MUTATES_STATS"}
+    assert KERNEL_SAFE_EFFECTS < EFFECTS
+
+
+def test_kernel_bare_form():
+    @kernel
+    def lookup(tag):
+        return tag
+
+    assert lookup.__sim_kernel__ == {"allow": (), "may_raise": ()}
+    assert lookup(7) == 7  # still the original function
+    assert lookup.__name__ == "lookup"
+
+
+def test_kernel_parameterized_form():
+    @kernel(allow=("READS_CLOCK",), may_raise=("KeyError", "ValueError"))
+    def walk(vpn):
+        return vpn
+
+    assert walk.__sim_kernel__ == {
+        "allow": ("READS_CLOCK",),
+        "may_raise": ("KeyError", "ValueError"),
+    }
+    assert walk(3) == 3
+
+
+def test_kernel_rejects_unknown_allow_name():
+    with pytest.raises(ValueError, match="NOT_AN_EFFECT"):
+        kernel(allow=("NOT_AN_EFFECT",))
+
+
+def test_effects_declaration():
+    @effects("MUTATES_STATE", "MUTATES_STATS")
+    def insert(key, value):
+        return key, value
+
+    assert insert.__sim_effects__ == ("MUTATES_STATE", "MUTATES_STATS")
+    assert insert(1, 2) == (1, 2)
+
+
+def test_effects_rejects_unknown_name():
+    with pytest.raises(ValueError, match="MUTATES_EVERYTHING"):
+        effects("MUTATES_EVERYTHING")
+
+
+def test_decorators_do_not_wrap():
+    def original(x):
+        return x
+
+    assert kernel(original) is original
+    assert effects("MUTATES_STATE")(original) is original
+
+
+def test_kernel_composes_with_staticmethod():
+    class Host:
+        @staticmethod
+        @kernel
+        def tag(addr):
+            return addr
+
+    assert Host.tag.__sim_kernel__ == {"allow": (), "may_raise": ()}
+    assert Host.tag(5) == 5
+
+
+def test_hot_paths_carry_contracts():
+    """The annotated hot-path entry points keep their runtime metadata."""
+    from repro.host.plb import PLB
+    from repro.host.tlb import TLB
+    from repro.host.page_table import PageTable
+    from repro.ssd.ssd_cache import SSDCache
+
+    for func in (PLB.lookup, TLB.lookup, PageTable.walk, SSDCache.lookup):
+        assert hasattr(func, "__sim_kernel__"), func
+    from repro.core.memory_system import MemorySystem
+
+    assert "ADVANCES_CLOCK" in MemorySystem.load.__sim_effects__

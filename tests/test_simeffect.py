@@ -1,0 +1,637 @@
+"""simeffect rule tests: one violating and one clean fixture per rule.
+
+Mirrors ``tests/test_simlint.py`` / ``tests/test_simflow.py``: every SE
+rule gets a minimal fixture that fires it and a clean twin that must
+stay quiet, plus suppression, ``--select``, CLI, report, and
+repo-is-clean tests.  simeffect is whole-program, so fixtures go through
+:func:`analyze_sources` with explicit (path, source) pairs.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.simeffect import (
+    RULES,
+    analyze_paths,
+    analyze_sources,
+    report_for_paths,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def check(snippet, path="repro/sim/fake.py", select=None, **kwargs):
+    return analyze_sources(
+        [(path, textwrap.dedent(snippet))], select=select, **kwargs
+    )
+
+
+# --------------------------------------------------------------------- #
+# SE000: syntax errors
+# --------------------------------------------------------------------- #
+
+
+def test_se000_syntax_error_is_reported_not_raised():
+    violations = check("def broken(:\n")
+    assert codes(violations) == ["SE000"]
+    assert violations[0].line == 1
+
+
+# --------------------------------------------------------------------- #
+# SE001: kernel contract violated by a non-kernel-safe effect
+# --------------------------------------------------------------------- #
+
+
+def test_se001_flags_rng_in_kernel():
+    violations = check(
+        """
+        import random
+        from repro.effects import kernel
+
+        class Sampler:
+            @kernel
+            def pick(self):
+                return random.random()
+        """,
+        select=["SE001"],
+    )
+    assert codes(violations) == ["SE001"]
+    assert "RNG" in violations[0].message
+
+
+def test_se001_flags_transitive_effect_with_witness_chain():
+    violations = check(
+        """
+        import random
+        from repro.effects import kernel
+
+        class Sampler:
+            def _draw(self):
+                return random.random()
+
+            @kernel
+            def pick(self):
+                return self._draw()
+        """,
+        select=["SE001"],
+    )
+    assert codes(violations) == ["SE001"]
+    assert "_draw" in violations[0].message  # witness chain names the callee
+
+
+def test_se001_allow_widens_the_contract():
+    violations = check(
+        """
+        import random
+        from repro.effects import kernel
+
+        class Sampler:
+            @kernel(allow=("RNG",))
+            def pick(self):
+                return random.random()
+        """,
+        select=["SE001"],
+    )
+    assert violations == []
+
+
+def test_se001_clean_kernel_mutating_state():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            def __init__(self):
+                self.hits = 0
+
+            @kernel
+            def touch(self):
+                self.hits += 1
+                return self.hits
+        """,
+        select=["SE001"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# SE002: inferred effects exceed the declared @effects(...) set
+# --------------------------------------------------------------------- #
+
+
+def test_se002_flags_undeclared_mutation():
+    violations = check(
+        """
+        from repro.effects import effects
+
+        class Table:
+            @effects("MUTATES_STATS")
+            def put(self, value):
+                self.value = value
+        """,
+        select=["SE002"],
+    )
+    assert codes(violations) == ["SE002"]
+    assert "MUTATES_STATE" in violations[0].message
+
+
+def test_se002_clean_when_declaration_covers_inference():
+    violations = check(
+        """
+        from repro.effects import effects
+
+        class Table:
+            @effects("MUTATES_STATE")
+            def put(self, value):
+                self.value = value
+        """,
+        select=["SE002"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# SE003: unresolved dynamic dispatch inside the kernel scope
+# --------------------------------------------------------------------- #
+
+
+def test_se003_flags_unknown_receiver_in_kernel():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Prober:
+            @kernel
+            def probe(self, thing):
+                return thing.mystery()
+        """,
+        select=["SE003"],
+    )
+    assert codes(violations) == ["SE003"]
+    assert "mystery" in violations[0].message
+
+
+def test_se003_clean_typed_receiver():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Leaf:
+            def value(self):
+                return 1
+
+        class Prober:
+            @kernel
+            def probe(self, thing: Leaf):
+                return thing.value()
+        """,
+        select=["SE003"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# SE004: heap allocation inside the kernel scope
+# --------------------------------------------------------------------- #
+
+
+def test_se004_flags_list_display_in_kernel():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def snapshot(self):
+                return [1, 2, 3]
+        """,
+        select=["SE004"],
+    )
+    assert codes(violations) == ["SE004"]
+
+
+def test_se004_flags_allocation_in_kernel_callee():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            def _rows(self):
+                return {"a": 1}
+
+            @kernel
+            def snapshot(self):
+                return self._rows()
+        """,
+        select=["SE004"],
+    )
+    assert codes(violations) == ["SE004"]
+
+
+def test_se004_clean_tuple_return():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def snapshot(self):
+                return (1, 2, 3)
+        """,
+        select=["SE004"],
+    )
+    assert violations == []
+
+
+def test_se004_exception_path_formatting_is_exempt():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel(may_raise=("ValueError",))
+            def get(self, key):
+                if key < 0:
+                    raise ValueError([key])
+                return key
+        """,
+        select=["SE004"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# SE005: kernel raises an exception not in may_raise
+# --------------------------------------------------------------------- #
+
+
+def test_se005_flags_undeclared_raise():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def get(self, key):
+                if key < 0:
+                    raise ValueError("negative key")
+                return key
+        """,
+        select=["SE005"],
+    )
+    assert codes(violations) == ["SE005"]
+    assert "ValueError" in violations[0].message
+
+
+def test_se005_clean_declared_raise():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel(may_raise=("ValueError",))
+            def get(self, key):
+                if key < 0:
+                    raise ValueError("negative key")
+                return key
+        """,
+        select=["SE005"],
+    )
+    assert violations == []
+
+
+def test_se005_clean_caught_exception():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def get(self, key):
+                try:
+                    if key < 0:
+                        raise ValueError("negative key")
+                except ValueError:
+                    return 0
+                return key
+        """,
+        select=["SE005"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# SE006: lock acquired around no lock-meaningful effect
+# --------------------------------------------------------------------- #
+
+
+#: Minimal stand-in for ``repro.sim.des`` so fixtures can resolve the
+#: DES command classes the same way a whole-tree scan does.
+_DES_STUB = (
+    "class Acquire:\n"
+    "    def __init__(self, lock):\n"
+    "        self.lock = lock\n"
+    "class Release:\n"
+    "    def __init__(self, lock):\n"
+    "        self.lock = lock\n"
+)
+
+
+def check_with_des(snippet, select=None):
+    return analyze_sources(
+        [
+            ("repro/sim/des.py", _DES_STUB),
+            ("repro/sim/fake.py", textwrap.dedent(snippet)),
+        ],
+        select=select,
+    )
+
+
+def test_se006_flags_pointless_lock():
+    violations = check_with_des(
+        """
+        from repro.sim.des import Acquire, Release
+
+        def reader(lock, table):
+            yield Acquire(lock)
+            value = 1 + 1
+            yield Release(lock)
+            return value
+        """,
+        select=["SE006"],
+    )
+    assert codes(violations) == ["SE006"]
+
+
+def test_se006_clean_lock_guarding_mutation():
+    violations = check_with_des(
+        """
+        from repro.sim.des import Acquire, Release
+
+        def writer(lock, table):
+            yield Acquire(lock)
+            table.count = 1
+            yield Release(lock)
+        """,
+        select=["SE006"],
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# Suppressions, sim scope, whole-program behavior
+# --------------------------------------------------------------------- #
+
+
+def test_suppression_comment_silences_a_finding():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def snapshot(self):
+                return [1, 2, 3]  # simeffect: disable=SE004
+        """,
+    )
+    assert violations == []
+
+
+def test_suppression_can_be_bypassed():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def snapshot(self):
+                return [1, 2, 3]  # simeffect: disable=SE004
+        """,
+        apply_suppressions=False,
+    )
+    assert codes(violations) == ["SE004"]
+
+
+def test_rules_outside_sim_scope_stay_quiet():
+    violations = check(
+        """
+        from repro.effects import kernel
+
+        class Table:
+            @kernel
+            def snapshot(self):
+                return [1, 2, 3]
+        """,
+        path="repro/experiments/fake.py",
+    )
+    assert violations == []
+
+
+def test_effects_flow_across_files():
+    common = textwrap.dedent(
+        """
+        import random
+
+        class Source:
+            def draw(self):
+                return random.random()
+        """
+    )
+    user = textwrap.dedent(
+        """
+        from repro.sim.fake_source import Source
+        from repro.effects import kernel
+
+        class Consumer:
+            @kernel
+            def pick(self, source: Source):
+                return source.draw()
+        """
+    )
+    violations = analyze_sources(
+        [
+            ("repro/sim/fake_source.py", common),
+            ("repro/sim/fake_user.py", user),
+        ],
+        select=["SE001"],
+    )
+    assert codes(violations) == ["SE001"]
+    assert violations[0].path == "repro/sim/fake_user.py"
+
+
+def test_rule_catalogue_is_complete():
+    assert [rule.code for rule in RULES] == [
+        "SE001",
+        "SE002",
+        "SE003",
+        "SE004",
+        "SE005",
+        "SE006",
+    ]
+    for rule in RULES:
+        assert rule.title
+        assert rule.explanation
+
+
+# --------------------------------------------------------------------- #
+# CLI + report
+# --------------------------------------------------------------------- #
+
+
+def _run_cli(module, args, tmp_path):
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env={"PYTHONPATH": str(SRC)},
+    )
+
+
+_SE004_BAD = (
+    "from repro.effects import kernel\n"
+    "class Table:\n"
+    "    @kernel\n"
+    "    def snapshot(self):\n"
+    "        return [1, 2, 3]\n"
+)
+
+
+def _write_bad(tmp_path, name="bad.py", body=_SE004_BAD):
+    bad = tmp_path / "repro" / "sim" / name
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text(body)
+    return bad
+
+
+def test_cli_exits_nonzero_on_violation(tmp_path):
+    _write_bad(tmp_path)
+    result = _run_cli("repro.analysis.simeffect", ["repro"], tmp_path)
+    assert result.returncode == 1
+    assert "SE004" in result.stdout
+
+
+def test_cli_exits_zero_on_clean_tree(tmp_path):
+    good = tmp_path / "repro" / "sim" / "good.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("def distance(a, b):\n    return a - b\n")
+    result = _run_cli("repro.analysis.simeffect", ["repro"], tmp_path)
+    assert result.returncode == 0
+    assert "clean" in result.stdout
+
+
+def test_cli_list_rules(tmp_path):
+    result = _run_cli("repro.analysis.simeffect", ["--list-rules"], tmp_path)
+    assert result.returncode == 0
+    for code in ("SE001", "SE006"):
+        assert code in result.stdout
+
+
+def test_cli_rejects_unknown_select(tmp_path):
+    result = _run_cli(
+        "repro.analysis.simeffect", ["--select", "SE999", "."], tmp_path
+    )
+    assert result.returncode == 2
+    assert "SE999" in result.stderr
+
+
+def test_cli_json_shared_schema(tmp_path):
+    _write_bad(tmp_path)
+    result = _run_cli("repro.analysis.simeffect", ["--json", "repro"], tmp_path)
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["tool"] == "simeffect"
+    assert payload["schema_version"] == 1
+    assert payload["count"] == len(payload["findings"])
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+
+
+def test_cli_report_writes_effects_json(tmp_path):
+    good = tmp_path / "repro" / "sim" / "good.py"
+    good.parent.mkdir(parents=True)
+    good.write_text(
+        "from repro.effects import kernel\n"
+        "class Table:\n"
+        "    def __init__(self):\n"
+        "        self.hits = 0\n"
+        "    @kernel\n"
+        "    def touch(self):\n"
+        "        self.hits += 1\n"
+        "        return self.hits\n"
+    )
+    out = tmp_path / "EFFECTS.json"
+    result = _run_cli(
+        "repro.analysis.simeffect", ["--report", str(out), "repro"], tmp_path
+    )
+    assert result.returncode == 0
+    report = json.loads(out.read_text())
+    assert report["tool"] == "simeffect"
+    assert report["summary"]["certified_kernels"] == 1
+    (entry,) = report["functions"]
+    assert entry["contract"] == "kernel"
+    assert entry["kernel_eligible"] is True
+    assert entry["certified_kernel"] is True
+
+
+def test_report_disqualifier_names_concrete_effect(tmp_path):
+    report_entry = None
+    violations_source = textwrap.dedent(
+        """
+        import random
+        from repro.effects import kernel
+
+        class Sampler:
+            def _draw(self):
+                return random.random()
+
+            @kernel
+            def pick(self):
+                return self._draw()
+        """
+    )
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(violations_source)
+    report = report_for_paths([str(tmp_path / "repro")])
+    (report_entry,) = report["functions"]
+    assert report_entry["kernel_eligible"] is False
+    disq = report_entry["disqualifiers"]
+    assert any(d.get("effect") == "RNG" for d in disq)
+    chain = next(d["chain"] for d in disq if d.get("effect") == "RNG")
+    assert "_draw" in chain
+
+
+# --------------------------------------------------------------------- #
+# Repo gate: the tree is clean and the required kernels certify
+# --------------------------------------------------------------------- #
+
+
+def test_repo_tree_is_simeffect_clean():
+    violations = analyze_paths([str(SRC)])
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_repo_report_certifies_required_kernels():
+    report = report_for_paths([str(SRC / "repro")])
+    certified = set(report["certified"])
+    required = {
+        "host.plb.PLB.lookup",
+        "host.tlb.TLB.lookup",
+        "host.page_table.PageTable.walk",
+        "ssd.ssd_cache.SSDCache.lookup",
+    }
+    assert required <= certified, f"missing: {required - certified}"
+    # Every non-eligible annotated function must state a concrete reason.
+    for entry in report["functions"]:
+        if not entry["kernel_eligible"]:
+            assert entry["disqualifiers"], entry["function"]
+            for disq in entry["disqualifiers"]:
+                assert "effect" in disq or "unresolved_call" in disq
