@@ -8,10 +8,15 @@ Two entry points share one measurement core:
 * As a script (``python benchmarks/bench_analyze.py --output
   BENCH_analyze.json``) it times every analyzer once and writes a small
   JSON document — the artifact CI uploads so analyzer-cost regressions
-  are visible per commit.
+  are visible per commit.  ``--check BASELINE`` additionally compares
+  the fresh timings against a committed baseline document and fails
+  (exit 1) when any analyzer has slowed by more than 2x, with a small
+  absolute noise floor so sub-50 ms analyzers can't trip the guard on
+  scheduler jitter.
 
-simeffect is whole-program (one call-graph fixpoint over the tree);
-the other three are per-file.  All four are timed over ``src/repro``.
+simeffect and simcost are whole-program (one call-graph fixpoint over
+the tree); the other three are per-file.  All are timed over
+``src/repro``.
 """
 
 from __future__ import annotations
@@ -61,13 +66,36 @@ def _simeffect_report() -> int:
     return int(report["summary"]["annotated"])
 
 
+def _simcost() -> int:
+    from repro.analysis.simcost.engine import analyze_paths
+
+    return len(analyze_paths(ANALYZE_PATHS))
+
+
+def _simcost_report() -> int:
+    from repro.analysis.simcost.engine import report_for_paths
+
+    report = report_for_paths(ANALYZE_PATHS)
+    return int(report["summary"]["entry_points"])
+
+
 ANALYZERS: Tuple[Tuple[str, Callable[[], int]], ...] = (
     ("simlint", _simlint),
     ("simrace", _simrace),
     ("simflow", _simflow),
     ("simeffect", _simeffect),
     ("simeffect_report", _simeffect_report),
+    ("simcost", _simcost),
+    ("simcost_report", _simcost_report),
 )
+
+#: Per-analyzer slowdown budget for ``--check`` (new > 2x old fails).
+SLOWDOWN_LIMIT = 2.0
+
+#: Baseline times are clamped up to this before comparing, so an
+#: analyzer that took 10 ms on the baseline machine can't fail CI by
+#: taking 30 ms on a noisier one.
+NOISE_FLOOR_SECONDS = 0.05
 
 
 def time_analyzers() -> Dict[str, Dict[str, float]]:
@@ -106,15 +134,49 @@ def test_bench_simeffect_report(once):
     assert once(_simeffect_report) > 0
 
 
+def test_bench_simcost(once):
+    assert once(_simcost) == 0
+
+
+def test_bench_simcost_report(once):
+    assert once(_simcost_report) > 0
+
+
 # --------------------------------------------------------------------------
 # Script mode: write BENCH_analyze.json for the CI artifact
 # --------------------------------------------------------------------------
+
+
+def check_regressions(
+    timings: Dict[str, Dict[str, float]], baseline: Dict[str, object]
+) -> List[str]:
+    """Analyzers that slowed past ``SLOWDOWN_LIMIT`` vs ``baseline``.
+
+    Analyzers absent from the baseline (newly added) are skipped — the
+    baseline must be regenerated to start guarding them.
+    """
+    failures: List[str] = []
+    old_timings = baseline.get("analyzers", {})
+    for name, timing in timings.items():
+        old = old_timings.get(name)
+        if not isinstance(old, dict) or "seconds" not in old:
+            continue
+        budget = max(float(old["seconds"]), NOISE_FLOOR_SECONDS) * SLOWDOWN_LIMIT
+        if timing["seconds"] > budget:
+            failures.append(
+                f"{name}: {timing['seconds']:.3f}s > {budget:.3f}s "
+                f"(baseline {float(old['seconds']):.3f}s x {SLOWDOWN_LIMIT:g})"
+            )
+    return failures
 
 
 def main(argv: List[str]) -> int:
     output = "BENCH_analyze.json"
     if "--output" in argv:
         output = argv[argv.index("--output") + 1]
+    check_path = None
+    if "--check" in argv:
+        check_path = argv[argv.index("--check") + 1]
     timings = time_analyzers()
     document = {
         "schema_version": 1,
@@ -128,6 +190,15 @@ def main(argv: List[str]) -> int:
     for name, timing in timings.items():
         print(f"{name:>18}: {timing['seconds']:8.3f}s (result={timing['result']})")
     print(f"wrote {output}")
+    if check_path is not None:
+        with open(check_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(timings, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no analyzer slower than {SLOWDOWN_LIMIT:g}x the baseline")
     return 0
 
 

@@ -1,12 +1,12 @@
-"""Umbrella runner: simlint + simrace + simflow + simeffect in one pass.
+"""Umbrella runner: simlint + simrace + simflow + simeffect + simcost.
 
-``python -m repro analyze [paths]`` runs all four static-analysis
+``python -m repro analyze [paths]`` runs all five static-analysis
 families over the same file set and merges their findings into a single
 report (or, with ``--json``, a single findings document in the shared
 schema of :mod:`repro.analysis.findings`, with each finding carrying a
-``tool`` field).  The first three tools are per-file; simeffect is
-whole-program — it parses the entire file set into one call graph before
-its rules fire.
+``tool`` field).  The first three tools are per-file; simeffect and
+simcost are whole-program — each parses the entire file set into one
+call graph before its rules fire.
 
 Exit status: 0 when clean, 1 when any tool found anything, and 2 when a
 tool *crashed* on a file — a crash means that file was never actually
@@ -18,8 +18,8 @@ longer shields a finding is reported as ``SUP001``, keeping dead
 markers from accumulating.
 
 The merged document is also a valid ``--baseline`` snapshot: rule codes
-are disjoint across tools (SL/SR/SF/SE), so one baseline file can cover
-all four analyses at once.
+are disjoint across tools (SL/SR/SF/SE/SC), so one baseline file can
+cover all five analyses at once.
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ from repro.analysis.findings import (
     strip_suppression_comments,
     unused_suppressions,
 )
+from repro.analysis.simcost.engine import analyze_sources as _cost_sources
 from repro.analysis.simeffect.engine import analyze_sources as _effect_sources
 from repro.analysis.simflow.engine import analyze_file as _flow_file
 from repro.analysis.simflow.engine import analyze_source as _flow_source
@@ -63,8 +64,11 @@ SOURCE_TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
     ("simflow", _flow_source),
 )
 
-#: Whole-program tools run once over the full file set.
-PROGRAM_TOOL = "simeffect"
+#: Whole-program tools run once over the full file set, in report order.
+PROGRAM_TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
+    ("simeffect", _effect_sources),
+    ("simcost", _cost_sources),
+)
 
 
 class Crash:
@@ -112,10 +116,17 @@ def run_all(
         per_tool[tool] = violations
     try:
         sources = [(str(path), _read(path)) for path in files]
-        per_tool[PROGRAM_TOOL] = _effect_sources(sources)
     except Exception as error:
-        crashes.append(Crash(PROGRAM_TOOL, "<whole-program>", error))
-        per_tool[PROGRAM_TOOL] = []
+        for tool, _ in PROGRAM_TOOLS:
+            crashes.append(Crash(tool, "<whole-program>", error))
+            per_tool[tool] = []
+        return per_tool, len(files), crashes
+    for tool, analyze_sources in PROGRAM_TOOLS:
+        try:
+            per_tool[tool] = analyze_sources(sources)
+        except Exception as error:
+            crashes.append(Crash(tool, "<whole-program>", error))
+            per_tool[tool] = []
     return per_tool, len(files), crashes
 
 
@@ -151,24 +162,22 @@ def check_suppressions(paths: Sequence[str]) -> Tuple[List[Violation], List[Cras
                         f"[{tool}] {violation.message}",
                     )
                 )
-    try:
-        raw_effect = _effect_sources(sources, apply_suppressions=False)
-    except Exception as error:
-        crashes.append(Crash(PROGRAM_TOOL, "<whole-program>", error))
-        raw_effect = None
-    if raw_effect is not None:
+    for tool, analyze_sources in PROGRAM_TOOLS:
+        try:
+            raw = analyze_sources(sources, apply_suppressions=False)
+        except Exception as error:
+            crashes.append(Crash(tool, "<whole-program>", error))
+            continue
         for (path_str, source) in sources:
             lines = source.splitlines()
-            for violation in unused_suppressions(
-                path_str, lines, PROGRAM_TOOL, raw_effect
-            ):
+            for violation in unused_suppressions(path_str, lines, tool, raw):
                 stale.append(
                     Violation(
                         violation.path,
                         violation.line,
                         violation.col,
                         violation.code,
-                        f"[{PROGRAM_TOOL}] {violation.message}",
+                        f"[{tool}] {violation.message}",
                     )
                 )
     stale.sort(key=lambda v: (v.path, v.line, v.col, v.message))
@@ -283,7 +292,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.analyze",
         description=(
-            "Run simlint + simrace + simflow + simeffect and merge their findings."
+            "Run simlint + simrace + simflow + simeffect + simcost and "
+            "merge their findings."
         ),
     )
     configure_parser(parser)

@@ -1,0 +1,33 @@
+"""simcost: static latency-accounting & counter-conservation analysis.
+
+Fifth analyzer in the simlint/simrace/simflow/simeffect family.  It
+reuses simeffect's whole-program call-graph model to compute, per
+function and per control-flow path, a **cost summary**: the multiset of
+:class:`repro.config.LatencyConfig` fields charged (via
+``clock.advance`` and transitive callees) and the ``sim/stats.py``
+counters/ratios mutated.  Rules SC001–SC006 check the summaries; the
+``--report`` flag emits ``COSTS.json``, the translation-validation
+oracle the ROADMAP-item-1 vectorized engine is diffed against.
+"""
+
+from repro.analysis.findings import Violation
+from repro.analysis.simcost.engine import (
+    analyze_paths,
+    analyze_sources,
+    build,
+    build_report,
+    config_violations,
+    report_for_paths,
+)
+from repro.analysis.simcost.rules import RULES
+
+__all__ = [
+    "Violation",
+    "analyze_sources",
+    "analyze_paths",
+    "build",
+    "build_report",
+    "config_violations",
+    "report_for_paths",
+    "RULES",
+]

@@ -1,9 +1,11 @@
-"""Command-line entry point: ``python -m repro.analysis.simeffect <paths>``.
+"""Command-line entry point: ``python -m repro.analysis.simcost <paths>``.
 
 Exits 1 when any violation is found, 0 on a clean tree.  With
-``--report [FILE]`` the kernel-eligibility report is written (default
-``EFFECTS.json``) — the gating artifact for the batch-compilation
-refactor — and the exit status still reflects findings.
+``--report [FILE]`` the cost report is written (default ``COSTS.json``)
+— the translation-validation oracle for the vectorized engine — and the
+exit status still reflects findings.  ``--check-config`` runs the SC007
+dead-knob audit over FlatFlashConfig/GeometryConfig/PromotionConfig
+instead of the SC accounting rules.
 """
 
 from __future__ import annotations
@@ -18,31 +20,40 @@ from repro.analysis.findings import (
     apply_baseline,
     findings_json,
 )
-from repro.analysis.simeffect.engine import (
+from repro.analysis.simcost.engine import (
     TOOL,
     analyze_sources,
     build,
     build_report,
+    config_violations,
     read_sources,
+    solve,
 )
-from repro.analysis.simeffect.rules import RULES
+from repro.analysis.simcost.rules import CONFIG_RULE_CODE, RULES
 
 
 def _list_rules() -> str:
-    lines = ["simeffect rule catalogue:", ""]
+    lines = ["simcost rule catalogue:", ""]
     for rule in RULES:
         scope = "sim scope only" if rule.sim_scope_only else "all files"
         lines.append(f"  {rule.code}  {rule.title}  [{scope}]")
         lines.append(f"         {rule.explanation}")
+    lines.append(
+        f"  {CONFIG_RULE_CODE}  dead config knob  [all files; --check-config only]"
+    )
+    lines.append(
+        "         FlatFlashConfig/GeometryConfig/PromotionConfig field "
+        "never read outside its config module."
+    )
     return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis.simeffect",
+        prog="python -m repro.analysis.simcost",
         description=(
-            "Interprocedural effect & kernel-eligibility analysis for the "
-            "FlatFlash simulator."
+            "Static latency-accounting & counter-conservation analysis for "
+            "the FlatFlash simulator."
         ),
     )
     parser.add_argument(
@@ -56,7 +67,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run (default: all), e.g. SE001,SE005",
+        help="comma-separated rule codes to run (default: all), e.g. SC002,SC004",
     )
     parser.add_argument(
         "--list-rules",
@@ -71,11 +82,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--report",
         nargs="?",
-        const="EFFECTS.json",
+        const="COSTS.json",
         metavar="FILE",
         help=(
-            "write the kernel-eligibility report to FILE "
-            "(default EFFECTS.json) in addition to reporting findings"
+            "write the per-entry-point cost report to FILE "
+            "(default COSTS.json) in addition to reporting findings"
+        ),
+    )
+    parser.add_argument(
+        "--check-config",
+        action="store_true",
+        help=(
+            "run the SC007 dead-knob audit (config fields never read) "
+            "instead of the SC accounting rules"
         ),
     )
     add_baseline_arguments(parser)
@@ -89,13 +108,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.paths = ["src/repro"]
         else:
             parser.error(
-                "no paths given (try: python -m repro.analysis.simeffect src/repro)"
+                "no paths given (try: python -m repro.analysis.simcost src/repro)"
             )
 
     select = None
     if args.select:
-        select = [code.strip().upper() for code in args.select.split(",") if code.strip()]
-        known = {rule.code for rule in RULES} | {"SE000"}
+        select = [
+            code.strip().upper() for code in args.select.split(",") if code.strip()
+        ]
+        known = {rule.code for rule in RULES} | {"SC000", CONFIG_RULE_CODE}
         unknown = sorted(set(select) - known)
         if unknown:
             parser.error(
@@ -105,26 +126,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         sources = read_sources(args.paths)
     except (OSError, UnicodeDecodeError) as error:
-        print(f"simeffect: cannot read input: {error}", file=sys.stderr)
+        print(f"simcost: cannot read input: {error}", file=sys.stderr)
         return 2
     if not sources:
-        print("simeffect: no Python files found under the given paths", file=sys.stderr)
+        print("simcost: no Python files found under the given paths", file=sys.stderr)
         return 0
 
-    violations = analyze_sources(sources, select=select)
+    if args.check_config:
+        violations = config_violations(sources)
+    else:
+        violations = analyze_sources(sources, select=select)
 
     if args.report:
         program, _errors = build(sources)
-        report = build_report(program)
+        report = build_report(program, solve(program))
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         summary = report["summary"]
         print(
-            f"simeffect: wrote {args.report} — "
-            f"{summary['certified_kernels']} certified kernel(s), "
-            f"{summary['disqualified']} disqualified, "
-            f"{summary['annotated']} annotated function(s)"
+            f"simcost: wrote {args.report} — "
+            f"{summary['entry_points']} entry point(s), "
+            f"{summary['invariants_verified']}/{summary['invariants_declared']} "
+            f"invariant(s) verified"
         )
 
     violations, done = apply_baseline(args, TOOL, violations, len(sources))
@@ -138,9 +162,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for violation in violations:
         print(violation.format())
     if violations:
-        print(f"\nsimeffect: {len(violations)} violation(s) in {len(sources)} file(s)")
+        print(f"\nsimcost: {len(violations)} violation(s) in {len(sources)} file(s)")
         return 1
-    print(f"simeffect: {len(sources)} file(s) clean")
+    print(f"simcost: {len(sources)} file(s) clean")
     return 0
 
 

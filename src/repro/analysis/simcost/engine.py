@@ -1,0 +1,295 @@
+"""simcost engine: whole-program cost runs, suppressions, and COSTS.json.
+
+Like simeffect, the unit of analysis is the file set: cost summaries
+flow across files through call edges, so all inputs are parsed into one
+program, solved, and then path-evaluated before any SC rule fires.
+
+:func:`build_report` emits ``COSTS.json`` — per-entry-point,
+path-conditional cost & counter summaries for the EFFECTS.json-certified
+kernels plus the promotion, fault-retry, and persistence paths.  It is
+the translation-validation oracle for the ROADMAP-item-1 vectorized
+engine: the batched replay kernel must reproduce these summaries
+charge-for-charge before it can replace the interpretive hot paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import (
+    ALL_CODES,
+    Violation,
+    iter_python_files,
+    parse_suppressions,
+)
+from repro.analysis.simeffect.engine import (
+    SIM_SCOPE_DIRS,
+    infer_sim_scope,
+)
+from repro.analysis.simeffect.engine import build_report as effects_report
+from repro.analysis.simeffect.model import Program, build_program
+from repro.analysis.simeffect.scan import fixpoint, scan_program
+from repro.analysis.simcost.model import CostModel, build_cost_model
+from repro.analysis.simcost.paths import Evaluator, Interval, Path as CostPath
+from repro.analysis.simcost.rules import (
+    RULES,
+    RULES_BY_CODE,
+    Analysis,
+    _load_attr_names,
+    check_config,
+    check_invariants,
+)
+
+TOOL = "simcost"
+
+__all__ = [
+    "TOOL", "SIM_SCOPE_DIRS", "infer_sim_scope", "build", "solve",
+    "analyze_sources", "analyze_paths", "read_sources",
+    "build_report", "report_for_paths", "config_violations",
+]
+
+#: Hot paths reported in COSTS.json beyond the certified kernels, keyed
+#: by report group.  Missing qualnames (e.g. in fixture trees) are
+#: skipped, so the report degrades gracefully.
+EXTRA_ENTRY_POINTS: Dict[str, Tuple[str, ...]] = {
+    "promotion": (
+        "repro.core.promotion.PromotionManager.update",
+        "repro.core.hierarchy.FlatFlash._start_promotion",
+        "repro.core.hierarchy.FlatFlash._promote_stalling",
+        "repro.core.hierarchy.FlatFlash._complete_promotion",
+    ),
+    "fault-retry": (
+        "repro.host.bridge.MMIORetryPolicy.backoff_ns",
+        "repro.core.hierarchy.FlatFlash._guarded_mmio",
+        "repro.ssd.ftl.PageFTL._read_with_ecc",
+        "repro.ssd.ftl.PageFTL._program_retrying",
+    ),
+    "persistence": (
+        "repro.core.persistence.PersistentRegion.persist_store",
+        "repro.core.persistence.PersistentRegion.commit",
+        "repro.core.persistence.PersistentRegion.durable_store",
+        "repro.core.persistence.PersistentRegion.atomic_store",
+    ),
+}
+
+
+def build(sources: Sequence[Tuple[str, str]]) -> Tuple[Program, List[Violation]]:
+    """Parse + solve the program; returns it plus SC000 syntax findings."""
+    parsed: List[Tuple[str, ast.Module, str]] = []
+    errors: List[Violation] = []
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            line = error.lineno or 1
+            col = (error.offset or 1) - 1
+            errors.append(
+                Violation(path, line, col, "SC000", f"syntax error: {error.msg}")
+            )
+            continue
+        parsed.append((path, tree, source))
+    program = build_program(parsed)
+    scan_program(program)
+    fixpoint(program)  # effect summaries feed the certified-kernel list
+    return program, errors
+
+
+def solve(program: Program) -> Analysis:
+    """Build the cost model and path-evaluate every function."""
+    model = build_cost_model(program)
+    evaluator = Evaluator(program, model)
+    evaluator.solve()
+    return Analysis(program=program, model=model, evaluator=evaluator)
+
+
+def _make_report(
+    sources: Sequence[Tuple[str, str]],
+    select: Optional[Iterable[str]],
+    apply_suppressions: bool,
+    violations: List[Violation],
+) -> Callable[[str, str, int, int, str], None]:
+    wanted = None if select is None else {code.upper() for code in select}
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    scope_by_path: Dict[str, bool] = {}
+    for path, source in sources:
+        scope_by_path[path] = infer_sim_scope(path)
+        if apply_suppressions:
+            suppressions[path] = parse_suppressions(source.splitlines(), TOOL)
+    seen: Set[Tuple[str, int, int, str, str]] = set()
+
+    def report(code: str, path: str, line: int, col: int, message: str) -> None:
+        if wanted is not None and code not in wanted:
+            return
+        rule = RULES_BY_CODE.get(code)
+        if rule is not None and rule.sim_scope_only and not scope_by_path.get(
+            path, False
+        ):
+            return
+        if apply_suppressions:
+            codes = suppressions.get(path, {}).get(line)
+            if codes is not None and (ALL_CODES in codes or code in codes):
+                return
+        key = (path, line, col, code, message)
+        if key in seen:
+            return
+        seen.add(key)
+        violations.append(Violation(path, line, col, code, message))
+
+    return report
+
+
+def analyze_sources(
+    sources: Sequence[Tuple[str, str]],
+    select: Optional[Iterable[str]] = None,
+    apply_suppressions: bool = True,
+) -> List[Violation]:
+    """Analyze (path, source) pairs as one program; sorted violations."""
+    program, violations = build(sources)
+    analysis = solve(program)
+    report = _make_report(sources, select, apply_suppressions, violations)
+    for rule in RULES:
+        rule.check(analysis, report)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def config_violations(
+    sources: Sequence[Tuple[str, str]],
+    apply_suppressions: bool = True,
+) -> List[Violation]:
+    """The --check-config pass: SC007 dead-knob findings."""
+    program, violations = build(sources)
+    analysis = solve(program)
+    report = _make_report(sources, ["SC007"], apply_suppressions, violations)
+    check_config(analysis, report)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def read_sources(paths: Iterable[str]) -> List[Tuple[str, str]]:
+    return [
+        (str(path), path.read_text(encoding="utf-8"))
+        for path in iter_python_files(paths)
+    ]
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    apply_suppressions: bool = True,
+) -> List[Violation]:
+    return analyze_sources(
+        read_sources(paths), select=select, apply_suppressions=apply_suppressions
+    )
+
+
+# --------------------------------------------------------------------------
+# Cost report (COSTS.json)
+# --------------------------------------------------------------------------
+
+
+def _short(qualname: str) -> str:
+    return qualname.replace("repro.", "", 1)
+
+
+def _iv_json(iv: Interval) -> List[Optional[int]]:
+    return [iv[0], iv[1]]
+
+
+def _effects_json(mapping: Dict[str, Interval]) -> Dict[str, List[Optional[int]]]:
+    return {key: _iv_json(iv) for key, iv in sorted(mapping.items())}
+
+
+def _path_json(path: CostPath) -> Dict[str, object]:
+    return {
+        "conditions": list(path.conds),
+        "charges": _effects_json(path.charges),
+        "counters": _effects_json(path.counters),
+        "returns": _effects_json(path.returned),
+        "raises": path.raises,
+        "exact": not path.imprecise,
+    }
+
+
+def build_report(program: Program, analysis: Optional[Analysis] = None
+                 ) -> Dict[str, object]:
+    """The machine-readable cost report for COSTS.json."""
+    if analysis is None:
+        analysis = solve(program)
+    model = analysis.model
+
+    groups: List[Tuple[str, str]] = []
+    for short in effects_report(program)["certified"]:
+        groups.append(("kernel", "repro." + short))
+    for group, qualnames in sorted(EXTRA_ENTRY_POINTS.items()):
+        for qualname in qualnames:
+            groups.append((group, qualname))
+
+    entries: List[Dict[str, object]] = []
+    for group, qualname in groups:
+        fn = program.functions.get(qualname)
+        summary = analysis.evaluator.summaries.get(qualname)
+        if fn is None or summary is None:
+            continue
+        entries.append({
+            "function": _short(qualname),
+            "file": program.paths[fn.module],
+            "line": fn.lineno,
+            "group": group,
+            "charges_clock": summary.charges_clock,
+            "returns_time": summary.time_spec is not None,
+            "charges": _effects_json(summary.charges_joined),
+            "counters": _effects_json(summary.counters_joined),
+            "returns": _effects_json(summary.returned_atoms),
+            "paths": [_path_json(path) for path in summary.paths],
+        })
+    entries.sort(key=lambda e: (e["group"], e["function"]))
+
+    invariant_results = check_invariants(analysis)
+    invariants = [
+        {
+            "class": _short(result.class_qualname),
+            "owner": result.owner,
+            "invariant": result.invariant.raw,
+            "scope": result.invariant.scope,
+            "status": result.status,
+            "detail": result.detail,
+        }
+        for result in invariant_results
+    ]
+    invariants.sort(key=lambda i: (i["class"], i["invariant"]))
+    status_counts = {"verified": 0, "violated": 0, "unchecked": 0}
+    for item in invariants:
+        status_counts[item["status"]] += 1
+
+    config_module = ""
+    for module in program.modules.values():
+        if program.paths[module.name] == model.latency_config_path:
+            config_module = module.name
+    used = _load_attr_names(program, skip_module=config_module)
+    dead_fields = sorted(
+        name for name in model.latency_fields if name not in used
+    )
+
+    return {
+        "tool": TOOL,
+        "schema_version": 1,
+        "latency_fields": sorted(model.latency_fields),
+        "dead_latency_fields": dead_fields,
+        "summary": {
+            "entry_points": len(entries),
+            "kernels": sum(1 for e in entries if e["group"] == "kernel"),
+            "invariants_declared": len(invariants),
+            "invariants_verified": status_counts["verified"],
+            "invariants_violated": status_counts["violated"],
+            "invariants_unchecked": status_counts["unchecked"],
+        },
+        "invariants": invariants,
+        "entry_points": entries,
+    }
+
+
+def report_for_paths(paths: Iterable[str]) -> Dict[str, object]:
+    program, _errors = build(read_sources(paths))
+    return build_report(program)

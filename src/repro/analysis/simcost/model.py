@@ -1,0 +1,411 @@
+"""simcost cost model: atoms, stat bindings, and ``@counters`` contracts.
+
+Built on top of a solved :class:`repro.analysis.simeffect.model.Program`,
+this module answers the *provenance* questions the path evaluator
+(:mod:`repro.analysis.simcost.paths`) needs:
+
+* which attribute names are **cost atoms** — the fields of
+  ``LatencyConfig`` (``flash_read_page_ns`` …), read straight from the
+  analyzed program's AST so fixtures can ship their own config;
+* which instance attributes are **bound costs** — constructor parameters
+  or direct assignments whose value is a cost atom expression (e.g.
+  ``PageTable(config.latency.page_table_walk_ns)`` binds
+  ``self.walk_cost_ns`` to ``{page_table_walk_ns}``);
+* which instance attributes are **stat primitives** — counters, ratios
+  and latency stats created through a registry
+  (``self._hits = stats.ratio("tlb.hits")``);
+* which functions **return time** — a ``TimeNs`` (possibly inside a
+  ``Tuple[...]``) return annotation, read from the raw annotation AST;
+* which classes declare a ``@counters`` contract, with parsed
+  invariants and the owner-prefix map for rule SC005.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.costs import Invariant, parse_invariant
+from repro.analysis.simeffect.model import FunctionInfo, Program
+
+#: Seeded primitive qualnames the evaluator special-cases.
+CLOCK_ADVANCE = "repro.sim.clock.SimClock.advance"
+CLOCK_ADVANCE_TO = "repro.sim.clock.SimClock.advance_to"
+COUNTER_ADD = "repro.sim.stats.Counter.add"
+RATIO_RECORD = "repro.sim.stats.RatioStat.record"
+LATENCY_RECORD = "repro.sim.stats.LatencyStats.record"
+LATENCY_EXTEND = "repro.sim.stats.LatencyStats.extend"
+HISTOGRAM_RECORD = "repro.sim.stats.Histogram.record"
+HISTOGRAM_EXTEND = "repro.sim.stats.Histogram.extend"
+REGISTRY_FACTORIES = {"counter": "counter", "ratio": "ratio", "latency": "latency"}
+
+#: Attribute names that carry a runtime-computed cost value (e.g. a
+#: ``FlashOp.latency_ns`` result): treated as an unattributed cost.
+RUNTIME_COST_ATTRS = frozenset({"latency_ns"})
+
+
+@dataclass(frozen=True)
+class StatBinding:
+    kind: str  # "counter" | "ratio" | "latency"
+    name: str  # registry name, e.g. "tlb.hits"
+
+
+@dataclass
+class CounterContract:
+    """One ``@counters(...)`` declaration on a class."""
+
+    class_qualname: str
+    owner: str
+    invariants: List[Invariant] = field(default_factory=list)
+    lineno: int = 0
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class CostModel:
+    """Everything path evaluation needs beyond the simeffect Program."""
+
+    latency_fields: Dict[str, int] = field(default_factory=dict)  # name -> line
+    latency_config_path: str = ""
+    config_fields: Dict[str, Tuple[str, str, int]] = field(default_factory=dict)
+    # config field name -> (class qualname, path, line), for --check-config
+    stat_attrs: Dict[Tuple[str, str], StatBinding] = field(default_factory=dict)
+    cost_attrs: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+    time_specs: Dict[str, object] = field(default_factory=dict)
+    # qualname -> "scalar" | ("tuple", (indices...), length)
+    contracts: Dict[str, CounterContract] = field(default_factory=dict)
+    owners: Dict[str, Set[str]] = field(default_factory=dict)  # prefix -> classes
+
+    def stat_of(self, class_qualname: str, attr: str, program: Program
+                ) -> Optional[StatBinding]:
+        for qn in program.mro_of(class_qualname) or [class_qualname]:
+            binding = self.stat_attrs.get((qn, attr))
+            if binding is not None:
+                return binding
+        return None
+
+    def cost_of(self, class_qualname: str, attr: str, program: Program
+                ) -> Optional[Set[str]]:
+        for qn in program.mro_of(class_qualname) or [class_qualname]:
+            atoms = self.cost_attrs.get((qn, attr))
+            if atoms is not None:
+                return atoms
+        return None
+
+
+# --------------------------------------------------------------------------
+# Config field extraction
+# --------------------------------------------------------------------------
+
+#: Config classes audited by ``--check-config`` (latency fields have
+#: their own rule, SC006).
+CONFIG_CLASSES = ("FlatFlashConfig", "GeometryConfig", "PromotionConfig")
+
+
+def _class_fields(node: ast.ClassDef) -> Dict[str, int]:
+    """Field name -> def line for a dataclass-style class body."""
+    fields: Dict[str, int] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields[stmt.target.id] = stmt.lineno
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    fields[target.id] = stmt.lineno
+    return fields
+
+
+def _find_class(program: Program, name: str):
+    cls = program.classes.get(f"repro.config.{name}")
+    if cls is not None:
+        return cls
+    for candidate in program.classes.values():
+        if candidate.name == name:
+            return candidate
+    return None
+
+
+def _collect_latency_fields(program: Program, model: CostModel) -> None:
+    cls = _find_class(program, "LatencyConfig")
+    if cls is None:
+        return
+    model.latency_fields = _class_fields(cls.node)
+    model.latency_config_path = program.paths.get(cls.module, "")
+
+
+def _collect_config_fields(program: Program, model: CostModel) -> None:
+    for class_name in CONFIG_CLASSES:
+        cls = _find_class(program, class_name)
+        if cls is None:
+            continue
+        path = program.paths.get(cls.module, "")
+        for name, line in _class_fields(cls.node).items():
+            model.config_fields[name] = (cls.qualname, path, line)
+
+
+# --------------------------------------------------------------------------
+# Atom syntax: latency-field references inside an expression
+# --------------------------------------------------------------------------
+
+
+def syntactic_atoms(node: ast.AST, fields: Dict[str, int]) -> Set[str]:
+    """Latency-config fields referenced (as attributes) inside ``node``."""
+    atoms: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in fields:
+            atoms.add(sub.attr)
+    return atoms
+
+
+# --------------------------------------------------------------------------
+# Stat + cost attribute bindings
+# --------------------------------------------------------------------------
+
+
+def registry_stat(node: ast.AST) -> Optional[StatBinding]:
+    """``<anything>.counter("name")`` / ``.ratio`` / ``.latency`` → binding."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    kind = REGISTRY_FACTORIES.get(node.func.attr)
+    if kind is None or not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return StatBinding(kind, first.value)
+    return None
+
+
+def _collect_stat_attrs(program: Program, model: CostModel) -> None:
+    for cls in program.classes.values():
+        for method in cls.methods.values():
+            if method.seeded:
+                continue
+            for node in ast.walk(method.node):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                binding = registry_stat(node.value)
+                if binding is not None:
+                    model.stat_attrs[(cls.qualname, target.attr)] = binding
+
+
+def _init_params(ctor: FunctionInfo) -> List[str]:
+    args = ctor.node.args
+    names = [a.arg for a in args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _collect_cost_attrs(program: Program, model: CostModel) -> None:
+    fields = model.latency_fields
+    if not fields:
+        return
+    # Pass A: direct `self.X = <atom expr>` in __init__, plus the
+    # param -> attr stores we need for pass B.
+    param_store: Dict[Tuple[str, str], str] = {}  # (class, param) -> attr
+    for cls in program.classes.values():
+        ctor = cls.methods.get("__init__")
+        if ctor is None or ctor.seeded:
+            continue
+        params = set(_init_params(ctor))
+        for node in ast.walk(ctor.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id in params:
+                param_store[(cls.qualname, node.value.id)] = target.attr
+                continue
+            atoms = syntactic_atoms(node.value, fields)
+            if atoms:
+                model.cost_attrs.setdefault((cls.qualname, target.attr), set()).update(
+                    atoms
+                )
+    # Pass B: constructor call sites — atom-valued arguments flow into
+    # the attrs their parameters are stored to.
+    ctor_lines: Dict[str, Dict[int, List[str]]] = {}
+    for fn in program.functions.values():
+        if fn.seeded:
+            continue
+        for edge in fn.calls:
+            if not edge.callee.endswith(".__init__"):
+                continue
+            class_qual = edge.callee[: -len(".__init__")]
+            if class_qual not in program.classes:
+                continue
+            ctor_lines.setdefault(fn.qualname, {}).setdefault(edge.line, []).append(
+                class_qual
+            )
+    for holder_qual, lines in ctor_lines.items():
+        holder = program.functions[holder_qual]
+        for node in ast.walk(holder.node):
+            if not isinstance(node, ast.Call) or node.lineno not in lines:
+                continue
+            callee_name = None
+            if isinstance(node.func, ast.Name):
+                callee_name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                callee_name = node.func.attr
+            for class_qual in lines[node.lineno]:
+                cls = program.classes[class_qual]
+                if callee_name is not None and callee_name != cls.name:
+                    continue
+                ctor = program.find_method(class_qual, "__init__")
+                if ctor is None:
+                    continue
+                params = _init_params(ctor)
+                bound: List[Tuple[str, ast.AST]] = list(zip(params, node.args))
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        bound.append((kw.arg, kw.value))
+                for param, arg in bound:
+                    attr = param_store.get((class_qual, param))
+                    if attr is None:
+                        continue
+                    atoms = syntactic_atoms(arg, fields)
+                    if atoms:
+                        model.cost_attrs.setdefault((class_qual, attr), set()).update(
+                            atoms
+                        )
+
+
+# --------------------------------------------------------------------------
+# Time-returning functions
+# --------------------------------------------------------------------------
+
+
+def _mentions_time(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "TimeNs":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "TimeNs":
+            return True
+    return False
+
+
+def time_return_spec(fn: FunctionInfo) -> Optional[object]:
+    """``"scalar"``, ``("tuple", indices, length)`` or None for ``fn``."""
+    returns = getattr(fn.node, "returns", None)
+    if returns is None or not _mentions_time(returns):
+        return None
+    if isinstance(returns, ast.Subscript):
+        base = returns.value
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if base_name in ("Tuple", "tuple"):
+            inner = returns.slice
+            if isinstance(inner, ast.Tuple):
+                indices = tuple(
+                    i for i, elem in enumerate(inner.elts) if _mentions_time(elem)
+                )
+                if indices:
+                    return ("tuple", indices, len(inner.elts))
+    return "scalar"
+
+
+def _collect_time_specs(program: Program, model: CostModel) -> None:
+    for fn in program.functions.values():
+        if fn.seeded:
+            continue
+        spec = time_return_spec(fn)
+        if spec is not None:
+            model.time_specs[fn.qualname] = spec
+
+
+# --------------------------------------------------------------------------
+# @counters contracts
+# --------------------------------------------------------------------------
+
+
+def _literal_str_tuple(node: ast.AST) -> Optional[List[Tuple[str, int]]]:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out: List[Tuple[str, int]] = []
+    for elem in node.elts:
+        if isinstance(elem, ast.Constant) and isinstance(elem.value, str):
+            out.append((elem.value, elem.lineno))
+        else:
+            return None
+    return out
+
+
+def _collect_contracts(program: Program, model: CostModel) -> None:
+    for cls in program.classes.values():
+        for deco in cls.node.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            func = deco.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "counters":
+                continue
+            contract = CounterContract(
+                class_qualname=cls.qualname, owner="", lineno=deco.lineno
+            )
+            for kw in deco.keywords:
+                if kw.arg == "owner":
+                    if isinstance(kw.value, ast.Constant) and isinstance(
+                        kw.value.value, str
+                    ):
+                        contract.owner = kw.value.value
+                    else:
+                        contract.errors.append(
+                            (kw.value.lineno, "@counters owner must be a string literal")
+                        )
+                elif kw.arg == "conserve":
+                    texts = _literal_str_tuple(kw.value)
+                    if texts is None:
+                        contract.errors.append(
+                            (
+                                kw.value.lineno,
+                                "@counters conserve must be a literal tuple/list "
+                                "of strings",
+                            )
+                        )
+                        continue
+                    for text, line in texts:
+                        try:
+                            contract.invariants.append(parse_invariant(text))
+                        except ValueError as error:
+                            contract.errors.append((line, str(error)))
+            if not contract.owner and not contract.errors:
+                contract.errors.append(
+                    (deco.lineno, "@counters requires an owner= prefix")
+                )
+            model.contracts[cls.qualname] = contract
+            if contract.owner:
+                model.owners.setdefault(contract.owner, set()).add(cls.qualname)
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+
+def build_cost_model(program: Program) -> CostModel:
+    """Derive the full cost model from a solved simeffect program."""
+    model = CostModel()
+    _collect_latency_fields(program, model)
+    _collect_config_fields(program, model)
+    _collect_stat_attrs(program, model)
+    _collect_cost_attrs(program, model)
+    _collect_time_specs(program, model)
+    _collect_contracts(program, model)
+    return model

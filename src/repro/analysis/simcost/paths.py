@@ -1,0 +1,1131 @@
+"""simcost path evaluation: per-path cost & counter summaries.
+
+For every function in the program this module computes a list of
+control-flow **paths**, each carrying interval-valued effect maps:
+
+* ``charges`` — how many times each cost atom (``LatencyConfig`` field)
+  was charged to the sim clock via ``clock.advance`` on this path,
+* ``returned`` — which atoms compose the path's returned ``TimeNs``
+  value (the dominant idiom: components *return* costs and a central
+  charge point advances the sum),
+* ``counters`` — the delta of each stat leg (counter name, or
+  ``ratio:total/hit/miss``, or ``latency:samples``).
+
+Intervals are ``(lo, hi)`` with ``hi = None`` for loop-unbounded
+effects; a path whose effects went through a widening join is marked
+``imprecise`` and exempt from equality checks (rule SC004).
+
+Branches fork paths (recording the branch condition for COSTS.json);
+``RatioStat.record(<symbolic>)`` forks a hit and a miss path; loops and
+``except`` handlers widen.  Calls are resolved through the call edges
+the simeffect scanner already computed and inlined as *joined* callee
+summaries, solved by memoized recursion over the call graph.
+
+Accounting events detected during evaluation become rules SC001–SC003:
+
+* SC001 — a statement discards the ``TimeNs`` result of a call whose
+  callee neither advances the clock nor books the cost to a
+  ``*background_ns`` counter: simulated time evaporates.
+* SC002 — a value already charged (advanced, or booked to a background
+  counter, transitively through sums and callee returns) is charged
+  again on the same path: double accounting.
+* SC003 — ``clock.advance`` with a bare numeric literal: the delta is
+  not traceable to a ``LatencyConfig`` field or ``TimeNs`` expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.simeffect.model import FunctionInfo, Program
+from repro.analysis.simcost.model import (
+    CLOCK_ADVANCE,
+    CLOCK_ADVANCE_TO,
+    COUNTER_ADD,
+    HISTOGRAM_EXTEND,
+    HISTOGRAM_RECORD,
+    LATENCY_EXTEND,
+    LATENCY_RECORD,
+    RATIO_RECORD,
+    RUNTIME_COST_ATTRS,
+    CostModel,
+    StatBinding,
+    registry_stat,
+)
+
+#: Most paths a function may fork into before everything is joined.
+MAX_LIVE_PATHS = 40
+#: Most finished paths kept per function (the rest are joined).
+MAX_FINISHED_PATHS = 64
+#: Longest rendered branch-condition string.
+MAX_COND_CHARS = 60
+
+Interval = Tuple[int, Optional[int]]
+
+ZERO: Interval = (0, 0)
+ONE: Interval = (1, 1)
+UNBOUNDED: Interval = (0, None)
+
+
+def iv_add(a: Interval, b: Interval) -> Interval:
+    hi = None if a[1] is None or b[1] is None else a[1] + b[1]
+    return (a[0] + b[0], hi)
+
+
+def iv_join(a: Interval, b: Interval) -> Interval:
+    hi = None if a[1] is None or b[1] is None else max(a[1], b[1])
+    return (min(a[0], b[0]), hi)
+
+
+def iv_scale(a: Interval, k: int) -> Interval:
+    hi = None if a[1] is None else a[1] * k
+    return (a[0] * k, hi)
+
+
+def iv_widen(a: Interval) -> Interval:
+    """A loop/handler may repeat or skip the effect: (lo, hi) -> (0, None)."""
+    if a == ZERO:
+        return ZERO
+    return UNBOUNDED
+
+
+def iv_exact(a: Interval) -> bool:
+    return a[1] is not None and a[0] == a[1]
+
+
+def _merge(into: Dict[str, Interval], key: str, delta: Interval) -> None:
+    into[key] = iv_add(into.get(key, ZERO), delta)
+
+
+class CostVal:
+    """A symbolic cost value: atom composition + charge provenance."""
+
+    __slots__ = ("atoms", "literal", "imprecise", "charged", "sources")
+
+    def __init__(
+        self,
+        atoms: Optional[Dict[str, Interval]] = None,
+        literal: Optional[int] = None,
+        imprecise: bool = False,
+        sources: Tuple["CostVal", ...] = (),
+    ) -> None:
+        self.atoms: Dict[str, Interval] = atoms or {}
+        self.literal = literal
+        self.imprecise = imprecise
+        self.charged = False  # set via Path.charge() bookkeeping
+        self.sources = sources
+
+
+class TupleVal:
+    """A tuple value carrying CostVals at some positions."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Optional[object]]) -> None:
+        self.items = list(items)
+
+
+class StatVal:
+    """A stat primitive held in a local variable."""
+
+    __slots__ = ("binding",)
+
+    def __init__(self, binding: StatBinding) -> None:
+        self.binding = binding
+
+
+class Path:
+    """One control-flow path's accumulated accounting state."""
+
+    __slots__ = (
+        "charges", "returned", "counters", "conds",
+        "imprecise", "raises", "returned_charged", "advanced", "charged_vals",
+    )
+
+    def __init__(self) -> None:
+        self.charges: Dict[str, Interval] = {}
+        self.returned: Dict[str, Interval] = {}
+        self.counters: Dict[str, Interval] = {}
+        self.conds: List[str] = []
+        self.imprecise = False
+        self.raises: Optional[str] = None
+        self.returned_charged = False
+        self.advanced = False
+        # id -> CostVal.  The values are kept as strong references so a
+        # charged CostVal can never be collected and its id() reused by a
+        # later, unrelated value (which would fake a double charge).
+        self.charged_vals: Dict[int, "CostVal"] = {}
+
+    def clone(self) -> "Path":
+        other = Path()
+        other.charges = dict(self.charges)
+        other.returned = dict(self.returned)
+        other.counters = dict(self.counters)
+        other.conds = list(self.conds)
+        other.imprecise = self.imprecise
+        other.raises = self.raises
+        other.returned_charged = self.returned_charged
+        other.advanced = self.advanced
+        other.charged_vals = dict(self.charged_vals)
+        return other
+
+    # -- charge provenance ------------------------------------------------
+
+    def is_charged(self, val: CostVal) -> bool:
+        if id(val) in self.charged_vals:
+            return True
+        return any(self.is_charged(s) for s in val.sources)
+
+    def charge_value(self, val: CostVal) -> None:
+        self.charged_vals[id(val)] = val
+        for source in val.sources:
+            self.charge_value(source)
+
+    # -- effect merging ---------------------------------------------------
+
+    def add_effects(self, other: "Path", widen: bool = False) -> None:
+        for key, iv in other.charges.items():
+            _merge(self.charges, key, iv_widen(iv) if widen else iv)
+        for key, iv in other.counters.items():
+            _merge(self.counters, key, iv_widen(iv) if widen else iv)
+        if widen:
+            if other.charges or other.counters or other.imprecise:
+                self.imprecise = True
+        else:
+            self.imprecise |= other.imprecise
+            self.conds.extend(other.conds)
+        self.advanced |= other.advanced
+        self.charged_vals.update(other.charged_vals)
+
+
+def join_paths(paths: Sequence[Path]) -> Path:
+    """Collapse several paths into one imprecise joined path."""
+    joined = Path()
+    if not paths:
+        return joined
+    keys_c: Set[str] = set()
+    keys_k: Set[str] = set()
+    for path in paths:
+        keys_c |= set(path.charges)
+        keys_k |= set(path.counters)
+    for key in keys_c:
+        iv = paths[0].charges.get(key, ZERO)
+        for path in paths[1:]:
+            iv = iv_join(iv, path.charges.get(key, ZERO))
+        joined.charges[key] = iv
+    for key in keys_k:
+        iv = paths[0].counters.get(key, ZERO)
+        for path in paths[1:]:
+            iv = iv_join(iv, path.counters.get(key, ZERO))
+        joined.counters[key] = iv
+    joined.imprecise = True
+    joined.advanced = any(p.advanced for p in paths)
+    for path in paths:
+        joined.charged_vals.update(path.charged_vals)
+    return joined
+
+
+class Frame:
+    __slots__ = ("path", "env")
+
+    def __init__(self, path: Path, env: Dict[str, object]) -> None:
+        self.path = path
+        self.env = env
+
+    def fork(self, cond: Optional[str] = None) -> "Frame":
+        path = self.path.clone()
+        if cond:
+            path.conds.append(cond)
+        return Frame(path, dict(self.env))
+
+
+class Summary:
+    """The joined, per-path cost summary of one function."""
+
+    __slots__ = (
+        "qualname", "paths", "events", "stat_muts",
+        "charges_joined", "counters_joined", "joined_imprecise",
+        "returned_atoms", "returned_charged", "returned_imprecise",
+        "charges_clock", "background", "time_spec",
+    )
+
+    def __init__(
+        self,
+        qualname: str,
+        paths: List[Path],
+        events: Set[Tuple[str, int, str]],
+        stat_muts: Set[Tuple[int, str]],
+        time_spec: Optional[object],
+    ) -> None:
+        self.qualname = qualname
+        self.paths = paths
+        self.events = events
+        self.stat_muts = stat_muts
+        self.time_spec = time_spec
+        self.charges_joined: Dict[str, Interval] = {}
+        self.counters_joined: Dict[str, Interval] = {}
+        self.returned_atoms: Dict[str, Interval] = {}
+        self.joined_imprecise = any(p.imprecise for p in paths)
+        self.charges_clock = any(p.advanced for p in paths)
+        self.returned_charged = any(
+            p.returned_charged for p in paths if p.raises is None
+        )
+        returning = [p for p in paths if p.raises is None]
+        self.returned_imprecise = any(p.imprecise for p in returning)
+        self._join("charges", "charges_joined", paths)
+        self._join("counters", "counters_joined", paths)
+        self._join("returned", "returned_atoms", returning)
+        if len(paths) > 1:
+            for mapping in (self.charges_joined, self.counters_joined):
+                if any(not iv_exact(iv) for iv in mapping.values()):
+                    self.joined_imprecise = True
+            if any(not iv_exact(iv) for iv in self.returned_atoms.values()):
+                self.returned_imprecise = True
+        self.background = any(
+            key.endswith("background_ns") for key in self.counters_joined
+        )
+
+    def _join(self, attr: str, out_attr: str, paths: Sequence[Path]) -> None:
+        out: Dict[str, Interval] = getattr(self, out_attr)
+        keys: Set[str] = set()
+        for path in paths:
+            keys |= set(getattr(path, attr))
+        for key in keys:
+            iv: Optional[Interval] = None
+            for path in paths:
+                piv = getattr(path, attr).get(key, ZERO)
+                iv = piv if iv is None else iv_join(iv, piv)
+            out[key] = iv if iv is not None else ZERO
+
+
+def _top_summary(qualname: str, time_spec: Optional[object]) -> Summary:
+    """Unknown (recursive) function: a single imprecise path."""
+    path = Path()
+    path.imprecise = True
+    return Summary(qualname, [path], set(), set(), time_spec)
+
+
+def _cond_str(node: ast.AST, negate: bool = False) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        text = "<cond>"
+    if len(text) > MAX_COND_CHARS:
+        text = text[: MAX_COND_CHARS - 1] + "…"
+    return f"not ({text})" if negate else text
+
+
+def _exc_name(node: Optional[ast.AST]) -> str:
+    if node is None:
+        return "Exception"
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return "Exception"
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return ["BaseException"]
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names or ["BaseException"]
+
+
+class Evaluator:
+    """Memoized whole-program cost summarization."""
+
+    def __init__(self, program: Program, model: CostModel) -> None:
+        self.program = program
+        self.model = model
+        self.summaries: Dict[str, Summary] = {}
+        self._stack: Set[str] = set()
+
+    def solve(self) -> None:
+        for qualname in sorted(self.program.functions):
+            fn = self.program.functions[qualname]
+            if not fn.seeded:
+                self.summarize(qualname)
+
+    def summarize(self, qualname: str) -> Summary:
+        cached = self.summaries.get(qualname)
+        if cached is not None:
+            return cached
+        fn = self.program.functions.get(qualname)
+        spec = self.model.time_specs.get(qualname)
+        if fn is None or fn.seeded or qualname in self._stack:
+            return _top_summary(qualname, spec)
+        self._stack.add(qualname)
+        try:
+            summary = _FunctionRunner(self, fn).run()
+        finally:
+            self._stack.discard(qualname)
+        self.summaries[qualname] = summary
+        return summary
+
+
+class _FunctionRunner:
+    """Symbolic execution of one function body."""
+
+    def __init__(self, evaluator: Evaluator, fn: FunctionInfo) -> None:
+        self.ev = evaluator
+        self.program = evaluator.program
+        self.model = evaluator.model
+        self.fn = fn
+        self.time_spec = evaluator.model.time_specs.get(fn.qualname)
+        self.events: Set[Tuple[str, int, str]] = set()
+        self.stat_muts: Set[Tuple[int, str]] = set()
+        self.finished_stack: List[List[Path]] = [[]]
+        self.edges: Dict[int, List[str]] = {}
+        for edge in fn.calls:
+            self.edges.setdefault(edge.line, []).append(edge.callee)
+
+    # -- top level --------------------------------------------------------
+
+    def run(self) -> Summary:
+        env: Dict[str, object] = {}
+        args = self.fn.node.args
+        for arg in list(args.args) + list(args.kwonlyargs):
+            if arg.arg in ("self", "cls"):
+                continue
+            annotated_time = False
+            if arg.annotation is not None:
+                for sub in ast.walk(arg.annotation):
+                    if isinstance(sub, ast.Name) and sub.id == "TimeNs":
+                        annotated_time = True
+                    if isinstance(sub, ast.Attribute) and sub.attr == "TimeNs":
+                        annotated_time = True
+            if annotated_time or arg.arg.endswith("_ns"):
+                env[arg.arg] = CostVal(imprecise=True)
+            else:
+                env[arg.arg] = None
+        frames = self._exec_block(self._body(), [Frame(Path(), env)])
+        finished = self.finished_stack[0]
+        for frame in frames:  # fall-through return None
+            finished.append(frame.path)
+        if len(finished) > MAX_FINISHED_PATHS:
+            finished = [join_paths(finished)]
+        return Summary(
+            self.fn.qualname, finished, self.events, self.stat_muts, self.time_spec
+        )
+
+    def _body(self) -> List[ast.stmt]:
+        body = list(self.fn.node.body)
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ):
+            body = body[1:]  # docstring
+        return body
+
+    def _finish(self, path: Path) -> None:
+        self.finished_stack[-1].append(path)
+
+    def _event(self, code: str, line: int, message: str) -> None:
+        self.events.add((code, line, message))
+
+    # -- statements -------------------------------------------------------
+
+    def _exec_block(self, stmts: Sequence[ast.stmt], frames: List[Frame]
+                    ) -> List[Frame]:
+        for stmt in stmts:
+            next_frames: List[Frame] = []
+            for frame in frames:
+                next_frames.extend(self._exec_stmt(stmt, frame))
+            if len(next_frames) > MAX_LIVE_PATHS:
+                joined = join_paths([f.path for f in next_frames])
+                env = self._join_envs([f.env for f in next_frames])
+                next_frames = [Frame(joined, env)]
+            frames = next_frames
+            if not frames:
+                break
+        return frames
+
+    def _join_envs(self, envs: List[Dict[str, object]]) -> Dict[str, object]:
+        if not envs:
+            return {}
+        joined: Dict[str, object] = {}
+        for key in envs[0]:
+            values = [env.get(key) for env in envs]
+            if all(isinstance(v, CostVal) for v in values):
+                atoms: Dict[str, Interval] = {}
+                for v in values:
+                    for atom, iv in v.atoms.items():  # type: ignore[union-attr]
+                        atoms[atom] = iv_join(atoms.get(atom, ZERO), iv)
+                joined[key] = CostVal(
+                    atoms=atoms, imprecise=True,
+                    sources=tuple(v for v in values),  # type: ignore[misc]
+                )
+            else:
+                joined[key] = None
+        return joined
+
+    def _exec_stmt(self, stmt: ast.stmt, frame: Frame) -> List[Frame]:
+        if isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._eval(stmt.value, frame)
+            if self.time_spec is not None:
+                self._record_return(value, frame.path)
+            self._finish(frame.path)
+            return []
+        if isinstance(stmt, ast.Raise):
+            frame.path.raises = _exc_name(stmt.exc)
+            self._finish(frame.path)
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return []  # rejoins through the loop widening
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, frame)
+        if isinstance(stmt, (ast.While, ast.For)):
+            return self._exec_loop(stmt, frame)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, frame)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr, frame)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    frame.env[item.optional_vars.id] = None
+            return self._exec_block(stmt.body, [frame])
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, frame)
+            for target in stmt.targets:
+                self._bind(target, value, frame)
+            return [frame]
+        if isinstance(stmt, ast.AnnAssign):
+            value = self._eval(stmt.value, frame) if stmt.value is not None else None
+            self._bind(stmt.target, value, frame)
+            return [frame]
+        if isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, frame)
+            if isinstance(stmt.target, ast.Name):
+                current = frame.env.get(stmt.target.id)
+                frame.env[stmt.target.id] = self._combine(
+                    current, value, isinstance(stmt.op, ast.Add)
+                )
+            return [frame]
+        if isinstance(stmt, ast.Expr):
+            return self._exec_expr_stmt(stmt, frame)
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, frame)
+            return [frame]
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return [frame]
+        if isinstance(stmt, ast.Delete):
+            return [frame]
+        # anything else: evaluate child expressions for call side effects
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child, frame)
+        return [frame]
+
+    def _exec_if(self, stmt: ast.If, frame: Frame) -> List[Frame]:
+        self._eval(stmt.test, frame)  # tests can call (side effects)
+        then_frame = frame.fork(_cond_str(stmt.test))
+        else_frame = frame.fork(_cond_str(stmt.test, negate=True))
+        out = self._exec_block(stmt.body, [then_frame])
+        out += self._exec_block(stmt.orelse, [else_frame])
+        return out
+
+    def _exec_loop(self, stmt, frame: Frame) -> List[Frame]:
+        if isinstance(stmt, ast.For):
+            self._eval(stmt.iter, frame)
+            probe_env = dict(frame.env)
+            if isinstance(stmt.target, ast.Name):
+                probe_env[stmt.target.id] = None
+        else:
+            self._eval(stmt.test, frame)
+            probe_env = dict(frame.env)
+        # Run the body once with an empty path to discover its effects,
+        # then widen them into the real path: 0..N iterations.
+        probe_live, probe_finished = self._probe(stmt.body, probe_env)
+        for done in probe_finished:
+            # return/raise inside the loop: a real exit, but the number
+            # of completed iterations before it is unknown
+            real = frame.path.clone()
+            real.add_effects(done)
+            real.imprecise = True
+            real.raises = done.raises
+            real.returned_charged |= done.returned_charged
+            self._finish(real)
+        body_paths = [pf.path for pf in probe_live]
+        for path in body_paths:
+            frame.path.add_effects(path, widen=True)
+        changed: Set[str] = set()
+        for pf in probe_live:
+            for key, value in pf.env.items():
+                if frame.env.get(key) is not value:
+                    changed.add(key)
+        for key in changed:
+            vals = [pf.env.get(key) for pf in probe_live]
+            if any(isinstance(v, CostVal) for v in vals):
+                atoms: Dict[str, Interval] = {}
+                sources: List[CostVal] = []
+                for v in vals:
+                    if isinstance(v, CostVal):
+                        sources.append(v)
+                        for atom in v.atoms:
+                            atoms[atom] = UNBOUNDED
+                base = frame.env.get(key)
+                if isinstance(base, CostVal):
+                    sources.append(base)
+                    for atom in base.atoms:
+                        atoms.setdefault(atom, UNBOUNDED)
+                frame.env[key] = CostVal(
+                    atoms=atoms, imprecise=True, sources=tuple(sources)
+                )
+            else:
+                frame.env[key] = None
+        infinite = isinstance(stmt, ast.While) and isinstance(
+            stmt.test, ast.Constant
+        ) and bool(stmt.test.value)
+        out: List[Frame] = [] if infinite else [frame]
+        if stmt.orelse and not infinite:
+            out = self._exec_block(stmt.orelse, out)
+        return out
+
+    def _probe(self, stmts: Sequence[ast.stmt], env: Dict[str, object]
+               ) -> Tuple[List[Frame], List[Path]]:
+        sink: List[Path] = []
+        self.finished_stack.append(sink)
+        try:
+            live = self._exec_block(list(stmts), [Frame(Path(), env)])
+        finally:
+            self.finished_stack.pop()
+        return live, sink
+
+    def _exec_try(self, stmt: ast.Try, frame: Frame) -> List[Frame]:
+        probe_live, probe_finished = self._probe(stmt.body, dict(frame.env))
+        handler_names = [name for h in stmt.handlers for name in _handler_names(h)]
+
+        def covered(exc: str) -> bool:
+            for name in handler_names:
+                if name in ("BaseException", "Exception") or name == exc:
+                    return True
+                if self.program.exc_subsumes(name, exc):
+                    return True
+            return False
+
+        out: List[Frame] = []
+        # success paths: body (and else) completed
+        for pf in probe_live:
+            success = frame.fork()
+            success.path.add_effects(pf.path)
+            success.env.update(pf.env)
+            out.extend(
+                self._exec_block(stmt.orelse, [success]) if stmt.orelse else [success]
+            )
+        # early exits from the body (return, or a raise no handler covers)
+        for done in probe_finished:
+            if done.raises is not None and covered(done.raises):
+                continue  # flows into a handler path below
+            real = frame.path.clone()
+            real.add_effects(done)
+            real.raises = done.raises
+            real.returned_charged |= done.returned_charged
+            if self.time_spec is not None:
+                for key, iv in done.returned.items():
+                    _merge(real.returned, key, iv)
+            self._finish(real)
+        # handler paths: pre-try state + widened partial body effects
+        for handler in stmt.handlers:
+            hframe = frame.fork(f"except {' | '.join(_handler_names(handler))}")
+            for pf in probe_live:
+                hframe.path.add_effects(pf.path, widen=True)
+            for done in probe_finished:
+                hframe.path.add_effects(done, widen=True)
+            if handler.name:
+                hframe.env[handler.name] = None
+            out.extend(self._exec_block(handler.body, [hframe]))
+        if stmt.finalbody:
+            out = self._exec_block(stmt.finalbody, out)
+        return out
+
+    def _exec_expr_stmt(self, stmt: ast.Expr, frame: Frame) -> List[Frame]:
+        node = stmt.value
+        if isinstance(node, ast.Call):
+            # RatioStat.record(<symbolic>) forks a hit and a miss path
+            fork = self._ratio_fork(node, frame)
+            if fork is not None:
+                return fork
+            value = self._eval_call(node, frame)
+            self._check_discard(node, frame)
+            _ = value
+            return [frame]
+        self._eval(node, frame)
+        return [frame]
+
+    def _ratio_fork(self, node: ast.Call, frame: Frame) -> Optional[List[Frame]]:
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "record"):
+            return None
+        binding = self._stat_receiver(node.func.value, frame)
+        if binding is None or binding.kind != "ratio" or not node.args:
+            return None
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, bool):
+            return None  # literal: handled precisely by _eval_call
+        self._eval(arg, frame)
+        self.stat_muts.add((node.lineno, binding.name))
+        hit = frame.fork(_cond_str(arg))
+        _merge(hit.path.counters, f"{binding.name}:total", ONE)
+        _merge(hit.path.counters, f"{binding.name}:hit", ONE)
+        miss = frame.fork(_cond_str(arg, negate=True))
+        _merge(miss.path.counters, f"{binding.name}:total", ONE)
+        _merge(miss.path.counters, f"{binding.name}:miss", ONE)
+        return [hit, miss]
+
+    def _check_discard(self, node: ast.Call, frame: Frame) -> None:
+        """SC001: a bare statement discarding an uncharged TimeNs result."""
+        for qualname in self._matched_callees(node):
+            spec = self.model.time_specs.get(qualname)
+            if spec is None:
+                continue
+            summary = self.ev.summarize(qualname)
+            if summary.charges_clock or summary.background:
+                continue
+            short = qualname.replace("repro.", "", 1)
+            self._event(
+                "SC001",
+                node.lineno,
+                f"TimeNs result of {short} is discarded without being "
+                f"charged to the clock (uncharged timed path)",
+            )
+
+    def _record_return(self, value: object, path: Path) -> None:
+        vals: List[CostVal] = []
+        if isinstance(value, CostVal):
+            vals = [value]
+        elif isinstance(value, TupleVal):
+            vals = [item for item in value.items if isinstance(item, CostVal)]
+        for val in vals:
+            for atom, iv in val.atoms.items():
+                _merge(path.returned, atom, iv)
+            if path.is_charged(val):
+                path.returned_charged = True
+            if val.imprecise:
+                path.imprecise = True
+
+    # -- bindings ---------------------------------------------------------
+
+    def _bind(self, target: ast.AST, value: object, frame: Frame) -> None:
+        if isinstance(target, ast.Name):
+            frame.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items = value.items if isinstance(value, TupleVal) else [None] * len(
+                target.elts
+            )
+            if len(items) != len(target.elts):
+                items = [None] * len(target.elts)
+            for elem, item in zip(target.elts, items):
+                self._bind(elem, item, frame)
+        # stores to attributes/subscripts don't track cost values
+
+    def _combine(self, a: object, b: object, additive: bool) -> object:
+        if not isinstance(a, CostVal) and not isinstance(b, CostVal):
+            return None
+        atoms: Dict[str, Interval] = {}
+        sources: List[CostVal] = []
+        imprecise = not additive
+        for val in (a, b):
+            if isinstance(val, CostVal):
+                sources.append(val)
+                imprecise |= val.imprecise
+                for atom, iv in val.atoms.items():
+                    atoms[atom] = iv_add(atoms.get(atom, ZERO), iv)
+            elif val is not None or not additive:
+                imprecise = True
+        literal = None
+        if (
+            additive
+            and isinstance(a, CostVal) and isinstance(b, CostVal)
+            and a.literal is not None and b.literal is not None
+        ):
+            literal = a.literal + b.literal
+        return CostVal(
+            atoms=atoms, literal=literal, imprecise=imprecise,
+            sources=tuple(sources),
+        )
+
+    # -- expressions ------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.AST], frame: Frame) -> object:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, int):
+                return None
+            return CostVal(literal=node.value)
+        if isinstance(node, ast.Name):
+            return frame.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, frame)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, frame)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, frame)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, frame)
+            a = self._eval(node.body, frame)
+            b = self._eval(node.orelse, frame)
+            return self._join_values(a, b)
+        if isinstance(node, ast.Tuple):
+            return TupleVal([self._eval(elem, frame) for elem in node.elts])
+        if isinstance(node, (ast.BoolOp,)):
+            for value in node.values:
+                self._eval(value, frame)
+            return None
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, frame)
+            for comp in node.comparators:
+                self._eval(comp, frame)
+            return None
+        if isinstance(node, ast.UnaryOp):
+            self._eval(node.operand, frame)
+            return None
+        if isinstance(node, (ast.Subscript, ast.Starred, ast.Await)):
+            self._eval(node.value, frame)
+            return None
+        if isinstance(node, (ast.List, ast.Set)):
+            for elem in node.elts:
+                self._eval(elem, frame)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self._eval(key, frame)
+            for value in node.values:
+                self._eval(value, frame)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value, frame)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp, ast.Lambda)):
+            return None  # comprehensions/lambdas: out of the cost model
+        return None
+
+    def _join_values(self, a: object, b: object) -> object:
+        if not isinstance(a, CostVal) and not isinstance(b, CostVal):
+            return None
+        atoms: Dict[str, Interval] = {}
+        sources: List[CostVal] = []
+        for val in (a, b):
+            if isinstance(val, CostVal):
+                sources.append(val)
+        keys: Set[str] = set()
+        for val in sources:
+            keys |= set(val.atoms)
+        for key in keys:
+            ivs = [
+                val.atoms.get(key, ZERO) if isinstance(val, CostVal) else ZERO
+                for val in (a, b)
+            ]
+            atoms[key] = iv_join(ivs[0], ivs[1])
+        imprecise = any(v.imprecise for v in sources) or not all(
+            isinstance(v, CostVal) for v in (a, b)
+        ) or (isinstance(a, CostVal) and isinstance(b, CostVal)
+              and a.atoms != b.atoms)
+        return CostVal(atoms=atoms, imprecise=imprecise, sources=tuple(sources))
+
+    def _eval_attribute(self, node: ast.Attribute, frame: Frame) -> object:
+        if node.attr in self.model.latency_fields:
+            return CostVal(atoms={node.attr: ONE})
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            cls = self.fn.cls
+            if cls is not None:
+                atoms = self.model.cost_of(cls, node.attr, self.program)
+                if atoms:
+                    if len(atoms) == 1:
+                        return CostVal(atoms={next(iter(atoms)): ONE})
+                    return CostVal(
+                        atoms={a: (0, 1) for a in sorted(atoms)}, imprecise=True
+                    )
+                binding = self.model.stat_of(cls, node.attr, self.program)
+                if binding is not None:
+                    return StatVal(binding)
+        if node.attr in RUNTIME_COST_ATTRS:
+            self._eval(node.value, frame)
+            return CostVal(imprecise=True)
+        self._eval(node.value, frame)
+        return None
+
+    def _eval_binop(self, node: ast.BinOp, frame: Frame) -> object:
+        left = self._eval(node.left, frame)
+        right = self._eval(node.right, frame)
+        if isinstance(node.op, ast.Add):
+            return self._combine(left, right, additive=True)
+        if isinstance(node.op, ast.Mult):
+            for cost, other, other_node in (
+                (left, right, node.right), (right, left, node.left),
+            ):
+                if isinstance(cost, CostVal) and cost.atoms:
+                    k = None
+                    if isinstance(other, CostVal) and other.literal is not None:
+                        k = other.literal
+                    elif isinstance(other_node, ast.Constant) and isinstance(
+                        other_node.value, int
+                    ):
+                        k = other_node.value
+                    if k is not None:
+                        return CostVal(
+                            atoms={a: iv_scale(iv, k) for a, iv in cost.atoms.items()},
+                            imprecise=cost.imprecise,
+                            sources=(cost,),
+                        )
+                    return CostVal(
+                        atoms={a: UNBOUNDED for a in cost.atoms},
+                        imprecise=True,
+                        sources=(cost,),
+                    )
+            if (
+                isinstance(left, CostVal) and isinstance(right, CostVal)
+                and left.literal is not None and right.literal is not None
+            ):
+                return CostVal(literal=left.literal * right.literal)
+            return None
+        # Sub, FloorDiv, ...: cost arithmetic survives imprecisely
+        sources = tuple(v for v in (left, right) if isinstance(v, CostVal))
+        if any(v.atoms for v in sources):
+            atoms: Dict[str, Interval] = {}
+            for val in sources:
+                for atom in val.atoms:
+                    atoms[atom] = UNBOUNDED
+            return CostVal(atoms=atoms, imprecise=True, sources=sources)
+        return None
+
+    # -- calls ------------------------------------------------------------
+
+    def _matched_callees(self, node: ast.Call) -> List[str]:
+        candidates = self.edges.get(node.lineno, [])
+        if not candidates:
+            return []
+        name = None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        matched = []
+        for callee in candidates:
+            last = callee.rsplit(".", 1)[-1]
+            if last == name:
+                matched.append(callee)
+            elif last == "__init__" and name is not None:
+                class_qual = callee[: -len(".__init__")]
+                cls = self.program.classes.get(class_qual)
+                if cls is not None and cls.name == name:
+                    matched.append(callee)
+        if not matched and len(candidates) == 1:
+            matched = list(candidates)
+        return matched
+
+    def _stat_receiver(self, node: ast.AST, frame: Frame
+                       ) -> Optional[StatBinding]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.fn.cls is not None
+        ):
+            return self.model.stat_of(self.fn.cls, node.attr, self.program)
+        if isinstance(node, ast.Name):
+            value = frame.env.get(node.id)
+            if isinstance(value, StatVal):
+                return value.binding
+            return None
+        if isinstance(node, ast.Call):
+            return registry_stat(node)
+        return None
+
+    def _eval_call(self, node: ast.Call, frame: Frame) -> object:
+        # a registry factory is a value, not an effect
+        factory = registry_stat(node)
+        if factory is not None:
+            return StatVal(factory)
+
+        arg_vals = [self._eval(arg, frame) for arg in node.args]
+        for kw in node.keywords:
+            arg_vals.append(self._eval(kw.value, frame))
+
+        callees = self._matched_callees(node)
+
+        if CLOCK_ADVANCE in callees:
+            self._apply_advance(node, arg_vals, frame)
+            return None
+        if CLOCK_ADVANCE_TO in callees:
+            frame.path.advanced = True
+            return None
+        if COUNTER_ADD in callees or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "add"
+            and self._stat_receiver(node.func.value, frame) is not None
+        ):
+            self._apply_counter_add(node, arg_vals, frame)
+            return None
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "record", "extend"
+        ):
+            handled = self._apply_record(node, arg_vals, frame, callees)
+            if handled:
+                return None
+
+        result: object = None
+        inlined = False
+        for qualname in callees:
+            if qualname not in self.program.functions:
+                continue
+            if self.program.functions[qualname].seeded:
+                continue
+            summary = self.ev.summarize(qualname)
+            self._inline(summary, frame, arg_vals)
+            inlined = True
+            value = self._call_result(summary)
+            result = value if result is None else self._join_call_results(
+                result, value
+            )
+        _ = inlined
+        return result
+
+    def _apply_advance(self, node: ast.Call, arg_vals: List[object],
+                       frame: Frame) -> None:
+        frame.path.advanced = True
+        val = arg_vals[0] if arg_vals else None
+        if not isinstance(val, CostVal):
+            _merge(frame.path.charges, "<unattributed>", UNBOUNDED)
+            frame.path.imprecise = True
+            return
+        if val.literal is not None and not val.atoms and not val.imprecise:
+            if val.literal != 0:
+                self._event(
+                    "SC003",
+                    node.lineno,
+                    f"clock.advance({val.literal}) charges a magic number: "
+                    f"the delta is not traceable to a LatencyConfig field "
+                    f"or TimeNs expression",
+                )
+            return
+        if frame.path.is_charged(val):
+            atoms = ", ".join(sorted(val.atoms)) or "a TimeNs value"
+            self._event(
+                "SC002",
+                node.lineno,
+                f"double charge: {atoms} already charged to the clock on "
+                f"this path is advanced again",
+            )
+        for atom, iv in val.atoms.items():
+            _merge(frame.path.charges, atom, iv)
+        if not val.atoms:
+            _merge(frame.path.charges, "<unattributed>", UNBOUNDED)
+        if val.imprecise:
+            frame.path.imprecise = True
+        frame.path.charge_value(val)
+
+    def _apply_counter_add(self, node: ast.Call, arg_vals: List[object],
+                           frame: Frame) -> None:
+        binding = self._stat_receiver(node.func.value, frame)  # type: ignore[union-attr]
+        if binding is None or binding.kind != "counter":
+            return
+        self.stat_muts.add((node.lineno, binding.name))
+        amount: Interval = ONE
+        if node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, int):
+                amount = (first.value, first.value)
+            else:
+                amount = UNBOUNDED
+        _merge(frame.path.counters, binding.name, amount)
+        if binding.name.endswith("background_ns"):
+            # booking a cost to a background counter charges it: advancing
+            # the same value afterwards would double-account it
+            val = arg_vals[0] if arg_vals else None
+            if isinstance(val, CostVal):
+                frame.path.charge_value(val)
+
+    def _apply_record(self, node: ast.Call, arg_vals: List[object],
+                      frame: Frame, callees: List[str]) -> bool:
+        binding = self._stat_receiver(node.func.value, frame)  # type: ignore[union-attr]
+        if binding is None:
+            return RATIO_RECORD in callees or LATENCY_RECORD in callees or (
+                HISTOGRAM_RECORD in callees
+            ) or LATENCY_EXTEND in callees or HISTOGRAM_EXTEND in callees
+        self.stat_muts.add((node.lineno, binding.name))
+        if binding.kind == "ratio":
+            arg = node.args[0] if node.args else None
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, bool):
+                leg = "hit" if arg.value else "miss"
+                _merge(frame.path.counters, f"{binding.name}:total", ONE)
+                _merge(frame.path.counters, f"{binding.name}:{leg}", ONE)
+            else:
+                # nested symbolic record (statement-level records fork
+                # instead — see _ratio_fork)
+                _merge(frame.path.counters, f"{binding.name}:total", ONE)
+                _merge(frame.path.counters, f"{binding.name}:hit", (0, 1))
+                _merge(frame.path.counters, f"{binding.name}:miss", (0, 1))
+                frame.path.imprecise = True
+            return True
+        amount = ONE if node.func.attr == "record" else UNBOUNDED  # type: ignore[union-attr]
+        _merge(frame.path.counters, f"{binding.name}:samples", amount)
+        return True
+
+    def _inline(self, summary: Summary, frame: Frame,
+                arg_vals: List[object]) -> None:
+        for atom, iv in summary.charges_joined.items():
+            _merge(frame.path.charges, atom, iv)
+        for leg, iv in summary.counters_joined.items():
+            _merge(frame.path.counters, leg, iv)
+        if summary.joined_imprecise and (
+            summary.charges_joined or summary.counters_joined
+        ):
+            frame.path.imprecise = True
+        if summary.charges_clock:
+            frame.path.advanced = True
+        if summary.charges_clock or summary.background:
+            # a callee that advances the clock (or books to a background
+            # counter) consumes the cost values passed to it
+            for val in arg_vals:
+                if isinstance(val, CostVal):
+                    frame.path.charge_value(val)
+
+    def _call_result(self, summary: Summary) -> object:
+        spec = summary.time_spec
+        if spec is None:
+            return None
+        val = CostVal(
+            atoms=dict(summary.returned_atoms),
+            imprecise=summary.returned_imprecise,
+        )
+        if summary.returned_charged:
+            val.charged = True
+        if spec == "scalar":
+            return val
+        _tag, indices, length = spec  # ("tuple", indices, length)
+        items: List[Optional[object]] = [None] * length
+        for index in indices:
+            items[index] = val
+        return TupleVal(items)
+
+    def _join_call_results(self, a: object, b: object) -> object:
+        if isinstance(a, TupleVal) and isinstance(b, TupleVal):
+            length = max(len(a.items), len(b.items))
+            items = []
+            for i in range(length):
+                items.append(
+                    self._join_values(
+                        a.items[i] if i < len(a.items) else None,
+                        b.items[i] if i < len(b.items) else None,
+                    )
+                )
+            return TupleVal(items)
+        return self._join_values(
+            a if isinstance(a, CostVal) else None,
+            b if isinstance(b, CostVal) else None,
+        )

@@ -80,7 +80,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     violations: List[Violation] = []
     for path in files:
-        violations.extend(lint_file(path, select=select))
+        try:
+            violations.extend(lint_file(path, select=select))
+        except (OSError, UnicodeDecodeError) as error:
+            print(f"simlint: cannot read {path}: {error}", file=sys.stderr)
+            return 2
 
     violations, done = apply_baseline(args, "simlint", violations, len(files))
     if done is not None:

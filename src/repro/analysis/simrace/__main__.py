@@ -79,7 +79,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     violations: List[Violation] = []
     for path in files:
-        violations.extend(analyze_file(path, select=select))
+        try:
+            violations.extend(analyze_file(path, select=select))
+        except (OSError, UnicodeDecodeError) as error:
+            print(f"simrace: cannot read {path}: {error}", file=sys.stderr)
+            return 2
 
     violations, done = apply_baseline(args, "simrace", violations, len(files))
     if done is not None:

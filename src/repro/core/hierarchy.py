@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.config import FlatFlashConfig
 from repro.core.memory_system import AccessResult, MemorySystem
+from repro.costs import counters
 from repro.effects import effects
 from repro.core.promotion import PromotionManager
 from repro.host.bridge import HostBridge, MMIORetryPolicy
@@ -64,6 +65,14 @@ class _InFlightPromotion:
         self.started_ns = started_ns
 
 
+@counters(
+    owner="mem",
+    conserve=(
+        "_complete_promotion: mem.pages_in == 1",
+        "_evict_frame: mem.evictions == 1",
+        "mem.pages_out <= mem.evictions",
+    ),
+)
 class FlatFlash(MemorySystem):
     """The paper's system: byte-addressable SSD + DRAM, one flat space."""
 

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.config import FlatFlashConfig
+from repro.costs import counters
 from repro.effects import effects
 from repro.host.page_table import PageTable
 from repro.host.tlb import TLB
@@ -92,6 +93,13 @@ class MappedRegion:
         return f"MappedRegion({self.name!r}, pages={self.num_pages}, persist={self.persist})"
 
 
+@counters(
+    owner="mem",
+    conserve=(
+        "_access: mem.loads + mem.stores == 1",
+        "_access: mem.access:samples == 1",
+    ),
+)
 class MemorySystem(abc.ABC):
     """Base class: virtual address space, TLB accounting, access splitting."""
 

@@ -23,6 +23,7 @@ from typing import Deque, List, Optional
 from collections import deque
 
 from repro.config import PromotionConfig
+from repro.costs import counters
 from repro.effects import effects
 from repro.sim.stats import StatRegistry
 from repro.ssd.ssd_cache import CacheEntry
@@ -86,6 +87,10 @@ class FixedPromotionPolicy:
         return entry.page_cnt == self.threshold
 
 
+@counters(
+    owner="promotion",
+    conserve=("update: promotion.signals <= 1",),
+)
 class PromotionManager:
     """The SSD's Promotion Manager: wires the policy to the device.
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.host.plb import PLB
 from repro.interconnect.pcie import BarWindow
@@ -26,6 +27,14 @@ from repro.units import LPN, PFN, HostPage, OffsetBytes, TimeNs
 PERSIST_BIT_SHIFT = 62
 
 
+@counters(
+    owner="bridge",
+    conserve=(
+        "backoff_ns: bridge.mmio_retries == 1",
+        "note_failure: bridge.mmio_failures == 1",
+        "bridge.degraded_pages <= bridge.mmio_failures",
+    ),
+)
 class MMIORetryPolicy:
     """Bounded retry with exponential backoff for faulted MMIO accesses.
 
@@ -113,6 +122,10 @@ class MMIORetryPolicy:
         return len(self._degraded)
 
 
+@counters(
+    owner="bridge",
+    conserve=("route: bridge.requests_to_dram + bridge.requests_to_ssd == 1",),
+)
 class HostBridge:
     """Routes physical addresses and tracks in-flight promotions."""
 

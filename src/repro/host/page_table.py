@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Tuple
 
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
@@ -76,6 +77,10 @@ class PageFault(Exception):
         self.vpn = vpn
 
 
+@counters(
+    owner="page_table",
+    conserve=("walk: page_table.walks == 1",),
+)
 class PageTable:
     """vpn -> PTE mapping with walk-cost accounting."""
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
@@ -57,6 +58,14 @@ class PLBEntry:
         )
 
 
+@counters(
+    owner="plb",
+    conserve=(
+        "lookup: plb.hits:total == 1",
+        "plb.hits:hit + plb.hits:miss == plb.hits:total",
+        "start: plb.promotions_started <= 1",
+    ),
+)
 class PLB:
     """The PLB table: fixed entry count, keyed by SSD page tag."""
 
@@ -69,6 +78,7 @@ class PLB:
         self._started = self.stats.counter("plb.promotions_started")
         self._dropped = self.stats.counter("plb.inbound_lines_dropped")
         self._redirects = self.stats.counter("plb.store_redirects")
+        self._hits = self.stats.ratio("plb.hits")
 
     @property
     def in_flight(self) -> int:
@@ -97,7 +107,9 @@ class PLB:
     @kernel
     def lookup(self, ssd_tag: HostPage) -> Optional[PLBEntry]:
         """CAM lookup by SSD page (one cycle: no cost charged)."""
-        return self._by_ssd_tag.get(ssd_tag)
+        entry = self._by_ssd_tag.get(ssd_tag)
+        self._hits.record(entry is not None)
+        return entry
 
     @effects("MUTATES_STATE", "MUTATES_STATS")
     def inbound_line(self, entry: PLBEntry, line: int) -> bool:

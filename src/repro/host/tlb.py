@@ -16,12 +16,22 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
 from repro.units import VPN, TimeNs
 
 
+@counters(
+    owner="tlb",
+    conserve=(
+        "lookup: tlb.hits:total == 1",
+        "tlb.hits:hit + tlb.hits:miss == tlb.hits:total",
+        "invalidate: tlb.shootdowns == 1",
+        "batch_invalidate: tlb.batch_updates <= 1",
+    ),
+)
 class TLB:
     """A capacity-limited translation cache over virtual page numbers."""
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.config import LatencyConfig
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim.sanitizers import PersistenceSanitizer
 from repro.sim.stats import StatRegistry
@@ -93,6 +94,15 @@ class BarWindow:
         return phys_addr - self.base
 
 
+@counters(
+    owner="pcie",
+    conserve=(
+        "verify_read_cost: pcie.mmio_reads == 1",
+        "dma_to_host_cost: pcie.dma_ops == 1",
+        "dma_from_host_cost: pcie.dma_ops == 1",
+        "mmio_atomic_cost: pcie.mmio_atomics == 1",
+    ),
+)
 class PCIeLink:
     """Cost and traffic accounting for one PCIe endpoint link."""
 

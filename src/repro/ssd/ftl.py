@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
@@ -36,6 +37,15 @@ class OutOfSpaceError(RuntimeError):
     """Raised when the flash array has no reclaimable space left."""
 
 
+@counters(
+    owner="ftl",
+    conserve=(
+        "trim: ftl.trims <= 1",
+        "collect_garbage: ftl.gc_runs == 1",
+        "_program_new: ftl.host_writes + ftl.gc_writes == 1",
+        "_read_with_ecc: ftl.ecc_hard_errors <= 1",
+    ),
+)
 class PageFTL:
     """Out-of-place page mapping with greedy victim selection for GC."""
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
 from repro.sim.stats import StatRegistry
@@ -70,6 +71,14 @@ class CacheEntry:
 EvictHook = Callable[[CacheEntry], None]
 
 
+@counters(
+    owner="ssd_cache",
+    conserve=(
+        "lookup: ssd_cache.hits:total <= 1",
+        "ssd_cache.hits:hit + ssd_cache.hits:miss == ssd_cache.hits:total",
+        "ssd_cache.dirty_evictions <= ssd_cache.evictions",
+    ),
+)
 class SSDCache:
     """Set-associative page cache with RRIP (or LRU) replacement."""
 

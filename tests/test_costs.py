@@ -1,0 +1,145 @@
+"""The `@counters` contract layer: invariant grammar + decorator metadata.
+
+The static analyzer (`simcost`, covered by test_simcost.py) re-reads the
+decorator from the AST; this suite pins down the runtime side — the
+grammar `parse_invariant` accepts, the eager validation errors, and the
+`__sim_counters__` metadata shape — so a contract typo fails at import
+time with a readable message instead of silently weakening analysis.
+"""
+
+import pytest
+
+from repro.costs import Invariant, counters, parse_invariant
+
+
+class TestParseInvariant:
+    def test_scoped_equality(self):
+        inv = parse_invariant("lookup: plb.hits:total == 1")
+        assert inv.scope == "lookup"
+        assert inv.op == "=="
+        assert inv.lhs == (("leg", "plb.hits:total"),)
+        assert inv.rhs == (("const", 1),)
+
+    def test_unscoped_sum(self):
+        inv = parse_invariant("plb.hits:hit + plb.hits:miss == plb.hits:total")
+        assert inv.scope is None
+        assert inv.lhs == (("leg", "plb.hits:hit"), ("leg", "plb.hits:miss"))
+        assert inv.rhs == (("leg", "plb.hits:total"),)
+
+    def test_inequalities(self):
+        assert parse_invariant("a.b <= 1").op == "<="
+        assert parse_invariant("a.b >= 1").op == ">="
+
+    def test_leg_suffixes(self):
+        inv = parse_invariant("walk: mem.access:samples == 1")
+        assert inv.legs() == ("mem.access:samples",)
+
+    def test_legs_deduplicate_in_order(self):
+        inv = parse_invariant("a.x + b.y == a.x + 2")
+        assert inv.legs() == ("a.x", "b.y")
+
+    def test_stat_names_keep_their_dots(self):
+        # "bridge.mmio_retries" must not be mistaken for a method scope:
+        # scopes are dotless by construction.
+        inv = parse_invariant("bridge.mmio_retries <= 3")
+        assert inv.scope is None
+        assert inv.legs() == ("bridge.mmio_retries",)
+
+    def test_whitespace_is_flexible(self):
+        inv = parse_invariant("  trim:   ftl.trims   <=   1  ")
+        assert inv.scope == "trim"
+        assert inv.rhs == (("const", 1),)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "plb.hits:total",  # no operator
+            "a.b == 1 == 2",  # two operators... but "==" appears once? no: twice
+            "a.b < 1",  # unsupported operator
+            "1 == 2",  # no stat leg at all
+            "a.b + == 1",  # empty term
+            "lookup: == 1",  # scope but empty lhs
+            "a.b:bogus == 1",  # unknown leg suffix
+            "Plb.hits == 1",  # uppercase stat name
+            "plain == 1",  # undotted term is neither int nor leg
+        ],
+    )
+    def test_rejects_bad_grammar(self, bad):
+        with pytest.raises(ValueError):
+            parse_invariant(bad)
+
+    def test_parse_returns_frozen_invariant(self):
+        inv = parse_invariant("a.b == 1")
+        assert isinstance(inv, Invariant)
+        with pytest.raises(AttributeError):
+            inv.op = "<="
+
+
+class TestCountersDecorator:
+    def test_attaches_metadata_and_returns_class_unchanged(self):
+        @counters(owner="plb", conserve=("plb.hits:total <= 1",))
+        class Component:
+            marker = 42
+
+        assert Component.marker == 42
+        assert Component.__sim_counters__ == {
+            "owner": "plb",
+            "conserve": ("plb.hits:total <= 1",),
+        }
+
+    def test_empty_conserve_is_fine(self):
+        @counters(owner="gc")
+        class Quiet:
+            pass
+
+        assert Quiet.__sim_counters__["conserve"] == ()
+
+    @pytest.mark.parametrize("owner", ["", "PLB", "9lb", "a-b", None])
+    def test_bad_owner_fails_at_decoration_time(self, owner):
+        with pytest.raises(ValueError):
+            counters(owner=owner)
+
+    def test_bad_invariant_fails_at_decoration_time(self):
+        with pytest.raises(ValueError):
+            counters(owner="plb", conserve=("plb.hits < 1",))
+
+    def test_subclass_inherits_contract(self):
+        # simcost walks the MRO, so a subclass without its own contract
+        # must still expose the base's metadata.
+        @counters(owner="mem", conserve=("mem.loads <= 1",))
+        class Base:
+            pass
+
+        class Derived(Base):
+            pass
+
+        assert Derived.__sim_counters__["owner"] == "mem"
+
+
+class TestRepoContracts:
+    """Every shipped contract must parse and match its component."""
+
+    def test_all_declared_contracts_parse(self):
+        from repro.core.hierarchy import FlatFlash
+        from repro.core.memory_system import MemorySystem
+        from repro.core.promotion import PromotionManager
+        from repro.host.bridge import HostBridge, MMIORetryPolicy
+        from repro.host.page_table import PageTable
+        from repro.host.plb import PLB
+        from repro.host.tlb import TLB
+        from repro.interconnect.pcie import PCIeLink
+        from repro.ssd.ftl import PageFTL
+        from repro.ssd.gc import GarbageCollector
+        from repro.ssd.ssd_cache import SSDCache
+
+        components = [
+            FlatFlash, MemorySystem, PromotionManager, HostBridge,
+            MMIORetryPolicy, PageTable, PLB, TLB, PCIeLink, PageFTL,
+            GarbageCollector, SSDCache,
+        ]
+        for cls in components:
+            meta = cls.__sim_counters__
+            assert meta["owner"], cls
+            for text in meta["conserve"]:
+                inv = parse_invariant(text)
+                assert inv.legs(), text

@@ -214,7 +214,7 @@ class TestCrashHandling:
         assert "RuntimeError: boom" in crashes[0].error
         # the other tools still report their (empty) results
         assert set(per_tool) == {
-            "simlint", "simrace", "simflow", "simeffect", "simboom",
+            "simlint", "simrace", "simflow", "simeffect", "simcost", "simboom",
         }
 
     def test_run_exits_2_on_crash(self, tree, monkeypatch, capsys):
@@ -250,3 +250,86 @@ class TestCrashHandling:
             baseline=None, write_baseline=None,
         )
         assert analyze.run(args) == 0
+
+
+# --------------------------------------------------------------------- #
+# CLI edge cases shared by every analyzer family
+# --------------------------------------------------------------------- #
+
+#: (module, example rule code) for each analyzer CLI.
+TOOL_CLIS = [
+    ("simlint", "SL001"),
+    ("simrace", "SR001"),
+    ("simflow", "SF001"),
+    ("simeffect", "SE001"),
+    ("simcost", "SC001"),
+]
+
+
+def _run_tool(tool, args, tmp_path):
+    return subprocess.run(
+        [sys.executable, "-m", f"repro.analysis.{tool}", *args],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env={"PYTHONPATH": str(SRC)},
+    )
+
+
+class TestSharedCLIEdgeCases:
+    """Every tool must agree on exit codes for degenerate inputs:
+
+    * an empty target directory is a *clean pass* (0), not an error;
+    * an unreadable input is exit 2 with a message on stderr — never a
+      silent "clean";
+    * an unknown ``--select`` code is a usage error (argparse's exit 2).
+    """
+
+    @pytest.mark.parametrize("tool,_code", TOOL_CLIS)
+    def test_empty_directory_is_clean(self, tool, _code, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        result = _run_tool(tool, [str(empty)], tmp_path)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no Python files" in result.stderr
+
+    @pytest.mark.parametrize("tool,_code", TOOL_CLIS)
+    def test_unreadable_file_exits_2(self, tool, _code, tmp_path):
+        # A directory named *.py: collected by the file walk, unreadable
+        # as source.  (chmod tricks don't work when tests run as root.)
+        target = tmp_path / "tree"
+        (target / "trap.py").mkdir(parents=True)
+        result = _run_tool(tool, [str(target)], tmp_path)
+        assert result.returncode == 2, result.stdout + result.stderr
+        assert result.stderr.strip() != ""
+
+    @pytest.mark.parametrize("tool,_code", TOOL_CLIS)
+    def test_invalid_utf8_exits_2(self, tool, _code, tmp_path):
+        target = tmp_path / "tree"
+        target.mkdir()
+        (target / "bad.py").write_bytes(b"x = 1\n\xff\xfe\n")
+        result = _run_tool(tool, [str(target)], tmp_path)
+        assert result.returncode == 2, result.stdout + result.stderr
+        assert result.stderr.strip() != ""
+
+    @pytest.mark.parametrize("tool,code", TOOL_CLIS)
+    def test_unknown_select_code_is_usage_error(self, tool, code, tmp_path):
+        target = tmp_path / "tree"
+        target.mkdir()
+        (target / "ok.py").write_text("x = 1\n")
+        result = _run_tool(tool, ["--select", "ZZ999", str(target)], tmp_path)
+        assert result.returncode == 2
+        assert "unknown rule code" in result.stderr
+
+    @pytest.mark.parametrize("tool,code", TOOL_CLIS)
+    def test_known_select_code_and_json_shape(self, tool, code, tmp_path):
+        target = tmp_path / "tree"
+        target.mkdir()
+        (target / "ok.py").write_text("x = 1\n")
+        result = _run_tool(tool, ["--select", code, "--json", str(target)], tmp_path)
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["tool"] == tool
+        assert payload["count"] == 0
+        assert payload["files_checked"] == 1
+        assert payload["findings"] == []
