@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint flow effects costs race faults bench experiments sweep examples all clean
+.PHONY: install test lint flow effects costs batch race faults bench experiments sweep examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -8,9 +8,9 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# simlint, simrace, simflow, simeffect and simcost are in-tree and always
-# run; ruff runs when installed (CI installs it via the dev extras, bare
-# environments may not).
+# simlint, simrace, simflow, simeffect, simcost and simbatch are in-tree
+# and always run; ruff runs when installed (CI installs it via the dev
+# extras, bare environments may not).
 lint:
 	$(PYTHON) -m repro.analysis.simlint src/
 	$(PYTHON) -m repro.analysis.simrace src/
@@ -18,6 +18,8 @@ lint:
 	$(PYTHON) -m repro.analysis.simeffect src/
 	$(PYTHON) -m repro.analysis.simcost src/
 	$(PYTHON) -m repro.analysis.simcost --check-config src/
+	$(PYTHON) -m repro.analysis.simbatch src/
+	$(PYTHON) -m repro.analysis.simbatch --check-opportunities src/
 	$(PYTHON) -m repro.analysis.analyze --check-suppressions src/
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src/ tests/ benchmarks/ examples/; \
@@ -36,6 +38,11 @@ effects:
 # Static latency accounting + counter-conservation report (COSTS.json).
 costs:
 	$(PYTHON) -m repro.analysis.simcost --report COSTS.json src/repro
+
+# Loop-dependence & batching-safety report (BATCH.json): the reorder
+# oracle for the planned vectorized engine.
+batch:
+	$(PYTHON) -m repro.analysis.simbatch --report BATCH.json src/repro
 
 # Dynamic half of simrace: perturb DES schedules on the tiny OLTP config
 # and fail on any undocumented schedule-dependent stat.

@@ -14,9 +14,9 @@ Two entry points share one measurement core:
   absolute noise floor so sub-50 ms analyzers can't trip the guard on
   scheduler jitter.
 
-simeffect and simcost are whole-program (one call-graph fixpoint over
-the tree); the other three are per-file.  All are timed over
-``src/repro``.
+simeffect, simcost and simbatch are whole-program (one call-graph
+fixpoint over the tree); the other three are per-file.  All are timed
+over ``src/repro``.
 """
 
 from __future__ import annotations
@@ -79,6 +79,19 @@ def _simcost_report() -> int:
     return int(report["summary"]["entry_points"])
 
 
+def _simbatch() -> int:
+    from repro.analysis.simbatch.engine import analyze_paths
+
+    return len(analyze_paths(ANALYZE_PATHS))
+
+
+def _simbatch_report() -> int:
+    from repro.analysis.simbatch.engine import report_for_paths
+
+    report = report_for_paths(ANALYZE_PATHS)
+    return int(report["summary"]["loops"])
+
+
 ANALYZERS: Tuple[Tuple[str, Callable[[], int]], ...] = (
     ("simlint", _simlint),
     ("simrace", _simrace),
@@ -87,6 +100,8 @@ ANALYZERS: Tuple[Tuple[str, Callable[[], int]], ...] = (
     ("simeffect_report", _simeffect_report),
     ("simcost", _simcost),
     ("simcost_report", _simcost_report),
+    ("simbatch", _simbatch),
+    ("simbatch_report", _simbatch_report),
 )
 
 #: Per-analyzer slowdown budget for ``--check`` (new > 2x old fails).
@@ -140,6 +155,14 @@ def test_bench_simcost(once):
 
 def test_bench_simcost_report(once):
     assert once(_simcost_report) > 0
+
+
+def test_bench_simbatch(once):
+    assert once(_simbatch) == 0
+
+
+def test_bench_simbatch_report(once):
+    assert once(_simbatch_report) > 0
 
 
 # --------------------------------------------------------------------------

@@ -1,11 +1,19 @@
-"""Analysis helpers: cost-effectiveness, SSD lifetime, report tables."""
+"""Analysis helpers: cost-effectiveness, SSD lifetime, report tables.
 
-from repro.analysis.cost import CostModel, cost_effectiveness
+These are *runtime* paper-metric helpers (Table 1/Table 3 math over
+measured runs).  The static-analysis families live in sub-packages of
+their own: simlint, simrace, simflow, simeffect, simcost, simbatch.  In
+particular :class:`DollarCostModel` here prices hardware in dollars,
+while ``repro.analysis.simcost.model.CostModel`` accounts simulated
+latency — two different models that deliberately no longer share a name.
+"""
+
+from repro.analysis.cost import DollarCostModel, cost_effectiveness
 from repro.analysis.lifetime import lifetime_improvement, write_amplification
 from repro.analysis.report import Table, format_ratio
 
 __all__ = [
-    "CostModel",
+    "DollarCostModel",
     "cost_effectiveness",
     "write_amplification",
     "lifetime_improvement",

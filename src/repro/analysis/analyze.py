@@ -1,12 +1,12 @@
-"""Umbrella runner: simlint + simrace + simflow + simeffect + simcost.
+"""Umbrella runner: simlint + simrace + simflow + simeffect + simcost + simbatch.
 
-``python -m repro analyze [paths]`` runs all five static-analysis
+``python -m repro analyze [paths]`` runs all six static-analysis
 families over the same file set and merges their findings into a single
 report (or, with ``--json``, a single findings document in the shared
 schema of :mod:`repro.analysis.findings`, with each finding carrying a
-``tool`` field).  The first three tools are per-file; simeffect and
-simcost are whole-program — each parses the entire file set into one
-call graph before its rules fire.
+``tool`` field).  The first three tools are per-file; simeffect,
+simcost, and simbatch are whole-program — each parses the entire file
+set into one call graph before its rules fire.
 
 Exit status: 0 when clean, 1 when any tool found anything, and 2 when a
 tool *crashed* on a file — a crash means that file was never actually
@@ -18,8 +18,8 @@ longer shields a finding is reported as ``SUP001``, keeping dead
 markers from accumulating.
 
 The merged document is also a valid ``--baseline`` snapshot: rule codes
-are disjoint across tools (SL/SR/SF/SE/SC), so one baseline file can
-cover all five analyses at once.
+are disjoint across tools (SL/SR/SF/SE/SC/SB), so one baseline file can
+cover all six analyses at once.
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ from repro.analysis.findings import (
     strip_suppression_comments,
     unused_suppressions,
 )
+from repro.analysis.simbatch.engine import analyze_sources as _batch_sources
 from repro.analysis.simcost.engine import analyze_sources as _cost_sources
 from repro.analysis.simeffect.engine import analyze_sources as _effect_sources
 from repro.analysis.simflow.engine import analyze_file as _flow_file
@@ -68,6 +69,7 @@ SOURCE_TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
 PROGRAM_TOOLS: Tuple[Tuple[str, Callable[..., List[Violation]]], ...] = (
     ("simeffect", _effect_sources),
     ("simcost", _cost_sources),
+    ("simbatch", _batch_sources),
 )
 
 
@@ -292,8 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.analyze",
         description=(
-            "Run simlint + simrace + simflow + simeffect + simcost and "
-            "merge their findings."
+            "Run simlint + simrace + simflow + simeffect + simcost + "
+            "simbatch and merge their findings."
         ),
     )
     configure_parser(parser)

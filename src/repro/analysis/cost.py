@@ -11,6 +11,11 @@ report
 
 i.e. normalized performance per dollar.  Values above 1.0 mean FlatFlash
 gives more performance per dollar than provisioning DRAM for everything.
+
+Naming note: this is the paper's *economic* model (dollars per gigabyte),
+not to be confused with the static-analysis ``CostModel`` in
+:mod:`repro.analysis.simcost.model`, which accounts simulated *latency*
+charges.  The class here is ``DollarCostModel`` to keep the two apart.
 """
 
 from __future__ import annotations
@@ -24,8 +29,12 @@ DRAM_ONLY_BASE_COST = 1_500.0  # extra DIMM-slot server cost
 
 
 @dataclass
-class CostModel:
-    """Prices a hybrid (DRAM+SSD) and a DRAM-only configuration."""
+class DollarCostModel:
+    """Prices a hybrid (DRAM+SSD) and a DRAM-only configuration.
+
+    Dollars, not nanoseconds: the simulated-latency accounting model of
+    the same name lives in :mod:`repro.analysis.simcost.model`.
+    """
 
     dram_dollars_per_gb: float = DRAM_DOLLARS_PER_GB
     ssd_dollars_per_gb: float = SSD_DOLLARS_PER_GB
@@ -67,7 +76,7 @@ def cost_effectiveness(
     dram_gb: float,
     ssd_gb: float,
     dataset_gb: float,
-    model: CostModel = CostModel(),
+    model: DollarCostModel = DollarCostModel(),
 ) -> CostEffectiveness:
     """Build a Table 3 row from two measured runs and the capacity plan."""
     if dram_only_elapsed_ns <= 0 or flatflash_elapsed_ns <= 0:

@@ -1,0 +1,29 @@
+"""simbatch: loop-dependence & batching-safety analysis.
+
+The reorder oracle for the ROADMAP-item-1 vectorized engine: classifies
+every hot-path loop as VECTORIZABLE, REDUCTION(op), or ORDER_DEPENDENT,
+checks declared ``@batchable``/``@reduction`` contracts
+(:mod:`repro.batch`) against the derived dependences (SB001–SB006), and
+emits the committed ``BATCH.json`` report.
+"""
+
+from repro.analysis.simbatch.engine import (
+    TOOL,
+    analyze_paths,
+    analyze_sources,
+    build_report,
+    opportunity_violations,
+    report_for_paths,
+)
+from repro.analysis.simbatch.rules import OPPORTUNITY_RULE_CODE, RULES
+
+__all__ = [
+    "TOOL",
+    "RULES",
+    "OPPORTUNITY_RULE_CODE",
+    "analyze_paths",
+    "analyze_sources",
+    "build_report",
+    "opportunity_violations",
+    "report_for_paths",
+]

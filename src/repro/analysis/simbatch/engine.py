@@ -1,0 +1,293 @@
+"""simbatch engine: whole-program loop runs, suppressions, and BATCH.json.
+
+Like simeffect and simcost, the unit of analysis is the file set: the
+carried-state question crosses files through call edges, so all inputs
+are parsed into one program, effect-solved, and only then are loops
+classified and the SB rules fired.
+
+:func:`build_report` emits ``BATCH.json`` — the reorder oracle for the
+ROADMAP-item-1 vectorized engine, and the third committed oracle next
+to ``EFFECTS.json`` (which functions are kernels) and ``COSTS.json``
+(what each path charges).  It lists every hot-path loop with its
+classification and, for ORDER_DEPENDENT loops, the concrete witness:
+the mutated state, the carrying read, and the provenance through
+callees.  Declared ``@batchable`` regions additionally carry a
+``certified`` verdict the engine can trust without re-deriving it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.batch import COMMUTATIVE_OPS
+from repro.analysis.findings import (
+    ALL_CODES,
+    Violation,
+    iter_python_files,
+    parse_suppressions,
+)
+from repro.analysis.simeffect.engine import build_report as effects_report
+from repro.analysis.simeffect.model import Program, build_program
+from repro.analysis.simeffect.scan import fixpoint, scan_program
+from repro.analysis.simbatch.model import (
+    BatchAnalysis,
+    LoopFacts,
+    REDUCTION,
+    VECTORIZABLE,
+    _short,
+    build_batch_analysis,
+)
+from repro.analysis.simbatch.rules import (
+    OPPORTUNITY_RULE_CODE,
+    RULES,
+    RULES_BY_CODE,
+    check_opportunities,
+    region_violation_codes,
+)
+
+TOOL = "simbatch"
+
+__all__ = [
+    "TOOL", "BATCH_SCOPE_DIRS", "infer_batch_scope", "build", "solve",
+    "analyze_sources", "analyze_paths", "read_sources",
+    "build_report", "report_for_paths", "opportunity_violations",
+]
+
+#: The hot-path modules whose loops the vectorized engine may batch.
+#: Wider than simeffect's sim scope: the workload emit loops and sweep
+#: drivers generate the access streams the engine replays, so their
+#: loops are classified too.
+BATCH_SCOPE_DIRS = {"host", "core", "ssd", "interconnect", "workloads", "sweep"}
+
+
+def infer_batch_scope(path: str) -> bool:
+    parts = Path(path).parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro" and parts[index + 1] in BATCH_SCOPE_DIRS:
+            return True
+    return False
+
+
+def build(sources: Sequence[Tuple[str, str]]) -> Tuple[Program, List[Violation]]:
+    """Parse + effect-solve the program; returns it plus SB000 findings."""
+    parsed: List[Tuple[str, ast.Module, str]] = []
+    errors: List[Violation] = []
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            line = error.lineno or 1
+            col = (error.offset or 1) - 1
+            errors.append(
+                Violation(path, line, col, "SB000", f"syntax error: {error.msg}")
+            )
+            continue
+        parsed.append((path, tree, source))
+    program = build_program(parsed)
+    scan_program(program)
+    fixpoint(program)  # callee effects + via provenance feed the witnesses
+    return program, errors
+
+
+def solve(program: Program) -> BatchAnalysis:
+    """Classify every in-scope loop against the certified-kernel set."""
+    certified = {
+        "repro." + short for short in effects_report(program)["certified"]
+    }
+    return build_batch_analysis(program, certified, infer_batch_scope)
+
+
+def _make_report(
+    sources: Sequence[Tuple[str, str]],
+    select: Optional[Iterable[str]],
+    apply_suppressions: bool,
+    violations: List[Violation],
+) -> Callable[[str, str, int, int, str], None]:
+    wanted = None if select is None else {code.upper() for code in select}
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    scope_by_path: Dict[str, bool] = {}
+    for path, source in sources:
+        scope_by_path[path] = infer_batch_scope(path)
+        if apply_suppressions:
+            suppressions[path] = parse_suppressions(source.splitlines(), TOOL)
+    seen: Set[Tuple[str, int, int, str, str]] = set()
+
+    def report(code: str, path: str, line: int, col: int, message: str) -> None:
+        if wanted is not None and code not in wanted:
+            return
+        rule = RULES_BY_CODE.get(code)
+        if rule is not None and rule.sim_scope_only and not scope_by_path.get(
+            path, False
+        ):
+            return
+        if apply_suppressions:
+            codes = suppressions.get(path, {}).get(line)
+            if codes is not None and (ALL_CODES in codes or code in codes):
+                return
+        key = (path, line, col, code, message)
+        if key in seen:
+            return
+        seen.add(key)
+        violations.append(Violation(path, line, col, code, message))
+
+    return report
+
+
+def analyze_sources(
+    sources: Sequence[Tuple[str, str]],
+    select: Optional[Iterable[str]] = None,
+    apply_suppressions: bool = True,
+) -> List[Violation]:
+    """Analyze (path, source) pairs as one program; sorted violations."""
+    program, violations = build(sources)
+    analysis = solve(program)
+    report = _make_report(sources, select, apply_suppressions, violations)
+    for rule in RULES:
+        rule.check(analysis, report)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def opportunity_violations(
+    sources: Sequence[Tuple[str, str]],
+    apply_suppressions: bool = True,
+) -> List[Violation]:
+    """The --check-opportunities pass: SB007 undeclared-batchable findings."""
+    program, violations = build(sources)
+    analysis = solve(program)
+    report = _make_report(
+        sources, [OPPORTUNITY_RULE_CODE], apply_suppressions, violations
+    )
+    check_opportunities(analysis, report)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def read_sources(paths: Iterable[str]) -> List[Tuple[str, str]]:
+    return [
+        (str(path), path.read_text(encoding="utf-8"))
+        for path in iter_python_files(paths)
+    ]
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    apply_suppressions: bool = True,
+) -> List[Violation]:
+    return analyze_sources(
+        read_sources(paths), select=select, apply_suppressions=apply_suppressions
+    )
+
+
+# --------------------------------------------------------------------------
+# Batch report (BATCH.json)
+# --------------------------------------------------------------------------
+
+
+def _dep_json(dep) -> Dict[str, object]:
+    return {
+        "name": dep.name,
+        "kind": dep.kind,
+        "op": dep.op,
+        "line": dep.line,
+        "read_line": dep.read_line,
+        "via": [_short(step) for step in dep.via],
+        "detail": dep.detail,
+    }
+
+
+def _loop_json(loop: LoopFacts, declared: bool) -> Dict[str, object]:
+    return {
+        "function": _short(loop.function),
+        "file": loop.path,
+        "line": loop.line,
+        "kind": loop.kind,
+        "iterates": loop.iterates,
+        "classification": loop.classification,
+        "reduction_ops": list(loop.reduction_ops),
+        "declared": declared,
+        "carried": [_dep_json(dep) for dep in loop.carried],
+        "calls": sorted(_short(callee) for callee in loop.calls),
+        "kernel_calls": sorted(_short(callee) for callee in loop.kernel_calls),
+    }
+
+
+def _count_opportunities(analysis: BatchAnalysis) -> int:
+    count = 0
+    for loop in analysis.loops:
+        contract = analysis.contracts.get(loop.function)
+        if contract is not None and contract.batchable:
+            continue
+        if loop.classification != "ORDER_DEPENDENT" and loop.kernel_calls:
+            count += 1
+    return count
+
+
+def build_report(program: Program, analysis: Optional[BatchAnalysis] = None
+                 ) -> Dict[str, object]:
+    """The machine-readable reorder oracle for BATCH.json."""
+    if analysis is None:
+        analysis = solve(program)
+    violations_by_region = region_violation_codes(analysis)
+
+    loops_json: List[Dict[str, object]] = []
+    counts = {VECTORIZABLE: 0, REDUCTION: 0, "ORDER_DEPENDENT": 0}
+    for loop in analysis.loops:
+        contract = analysis.contracts.get(loop.function)
+        declared = contract is not None and contract.batchable
+        counts[loop.classification] = counts.get(loop.classification, 0) + 1
+        loops_json.append(_loop_json(loop, declared))
+
+    regions: List[Dict[str, object]] = []
+    for qualname in sorted(analysis.contracts):
+        contract = analysis.contracts[qualname]
+        if not contract.batchable:
+            continue
+        fn = program.functions[qualname]
+        loops = analysis.loops_by_function.get(qualname, [])
+        codes = violations_by_region.get(qualname, [])
+        certified = not codes and all(
+            loop.classification in (VECTORIZABLE, REDUCTION) for loop in loops
+        ) and bool(loops)
+        kernel_calls: Set[str] = set()
+        for loop in loops:
+            kernel_calls.update(loop.kernel_calls)
+        regions.append({
+            "function": _short(qualname),
+            "file": program.paths[fn.module],
+            "line": fn.lineno,
+            "reductions": [
+                {"var": r.var, "op": r.op} for r in contract.reductions
+            ],
+            "loops": [loop.line for loop in loops],
+            "kernel_calls": sorted(_short(k) for k in kernel_calls),
+            "certified": certified,
+            "violations": codes,
+        })
+
+    certified_regions = sum(1 for region in regions if region["certified"])
+    return {
+        "tool": TOOL,
+        "schema_version": 1,
+        "commutative_ops": sorted(COMMUTATIVE_OPS),
+        "scope_dirs": sorted(BATCH_SCOPE_DIRS),
+        "summary": {
+            "loops": len(analysis.loops),
+            "vectorizable": counts[VECTORIZABLE],
+            "reduction": counts[REDUCTION],
+            "order_dependent": counts["ORDER_DEPENDENT"],
+            "regions": len(regions),
+            "certified_regions": certified_regions,
+            "opportunities": _count_opportunities(analysis),
+        },
+        "regions": regions,
+        "loops": loops_json,
+    }
+
+
+def report_for_paths(paths: Iterable[str]) -> Dict[str, object]:
+    program, _errors = build(read_sources(paths))
+    return build_report(program)

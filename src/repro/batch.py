@@ -1,0 +1,88 @@
+"""Batching contracts: declared reorder-safety for hot-path access loops.
+
+ROADMAP item 1 replaces the interpretive per-access hot path with a
+trace-compiled, vectorized engine.  That engine batches the iterations
+of the per-access loops (PLB/TLB lookups, page-table walks, SSD-Cache
+probes, workload emit loops) and is free to reorder work within a
+batch — which is only legal when the loop iterations are independent,
+or interact solely through commutative folds whose final value does not
+depend on iteration order.
+
+This module is the *declaration* side of that guarantee, mirroring
+:mod:`repro.effects` (``@kernel``) and :mod:`repro.costs`
+(``@counters``):
+
+* :func:`batchable` marks a function whose loops form a batchable
+  region: the vectorized engine may split, batch, and reorder their
+  iterations.
+* :func:`reduction` declares a loop-carried accumulator inside a
+  batchable region and the commutative operator it folds through, so
+  the analyzer can tell a legal reduction from an ordering bug.
+
+Both are inert at runtime — they only attach metadata — but validate
+eagerly so a typo'd contract fails at import time, not in the analyzer.
+The ``simbatch`` analyzer (:mod:`repro.analysis.simbatch`) reads the
+decorators syntactically, re-derives every loop-carried dependence from
+the program itself, and emits ``BATCH.json``: the reorder oracle the
+vectorized engine consults next to ``EFFECTS.json`` and ``COSTS.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+__all__ = ["COMMUTATIVE_OPS", "batchable", "reduction"]
+
+#: Operators under which a loop-carried fold is reorder-safe.  ``+`` also
+#: covers ``-=`` accumulation (a sum of negated terms); ``or``/``and``
+#: are commutative for the flag folds the simulator uses (operands are
+#: effect-free reads), even though Python's operators short-circuit.
+COMMUTATIVE_OPS = frozenset({"+", "*", "min", "max", "or", "and", "|", "&", "^"})
+
+
+def batchable(func: Callable) -> Callable:
+    """Declare a function's loops safe to batch and reorder.
+
+    The contract: every loop in the function either carries no
+    dependence between iterations, or carries state only through
+    accumulators declared with :func:`reduction`.  Calls made inside
+    the region must be EFFECTS.json-certified kernels (or effect-free
+    helpers) so the whole region stays inside the proven replay
+    envelope.  simbatch checks all of this (rules SB001–SB006).
+    """
+    if not callable(func):
+        raise ValueError("@batchable must decorate a function")
+    func.__sim_batchable__ = True
+    return func
+
+
+def reduction(var: str, op: str) -> Callable[[Callable], Callable]:
+    """Declare that ``var`` folds through commutative ``op`` in a loop.
+
+    Example::
+
+        @batchable
+        @reduction(var="misses", op="+")
+        def warm_translations(self, vpns): ...
+
+    ``op`` must come from :data:`COMMUTATIVE_OPS`; order-sensitive folds
+    (last-writer-wins, ``list.append``) cannot be declared — a region
+    that needs one is not batchable and simbatch will say so (SB002).
+    """
+    if not isinstance(var, str) or not var.isidentifier():
+        raise ValueError(f"@reduction var must be an identifier, got {var!r}")
+    if op not in COMMUTATIVE_OPS:
+        raise ValueError(
+            f"@reduction op must be one of {sorted(COMMUTATIVE_OPS)}, got {op!r}"
+        )
+
+    def mark(func: Callable) -> Callable:
+        if not callable(func):
+            raise ValueError("@reduction must decorate a function")
+        declared: Tuple[Tuple[str, str], ...] = getattr(
+            func, "__sim_reductions__", ()
+        )
+        func.__sim_reductions__ = declared + ((var, op),)
+        return func
+
+    return mark

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.batch import batchable
 from repro.config import FlatFlashConfig
 from repro.core.memory_system import AccessResult, MemorySystem
 from repro.costs import counters
@@ -463,23 +464,41 @@ class FlatFlash(MemorySystem):
         cost = self._plb_forward_read_cost(size)
         payload = None
         if self.config.track_data:
-            line_size = self.config.geometry.cacheline_size
-            assembled = bytearray(size)
-            for line in lines:
-                line_start = line * line_size
-                line_end = line_start + line_size
-                lo = max(offset, line_start)
-                hi = min(offset + size, line_end)
-                if self.bridge.plb.cpu_load_from_dram(entry, line):
-                    chunk = self.dram.read_bytes(flight.frame, lo, hi - lo)
-                elif flight.snapshot is not None:
-                    chunk = flight.snapshot[lo:hi]
-                else:
-                    chunk = b"\x00" * (hi - lo)
-                if chunk is not None:
-                    assembled[lo - offset : hi - offset] = chunk
-            payload = bytes(assembled)
+            payload = self._assemble_plb_lines(flight, entry, lines, offset, size)
         return AccessResult(cost, "plb", data=payload)
+
+    @batchable
+    def _assemble_plb_lines(
+        self,
+        flight: _InFlightPromotion,
+        entry: PLBEntry,
+        lines: List[int],
+        offset: int,
+        size: int,
+    ) -> bytes:
+        """Gather the payload of a split PLB read, line by line.
+
+        Copied lines come from the destination DRAM frame (they may carry
+        redirected stores), the rest from the promotion snapshot.  Each
+        line lands in its own slice of the result (a keyed scatter), so
+        the assembly loop is reorder-safe under batching.
+        """
+        line_size = self.config.geometry.cacheline_size
+        assembled = bytearray(size)
+        for line in lines:
+            line_start = line * line_size
+            line_end = line_start + line_size
+            lo = max(offset, line_start)
+            hi = min(offset + size, line_end)
+            if self.bridge.plb.cpu_load_from_dram(entry, line):
+                chunk = self.dram.read_bytes(flight.frame, lo, hi - lo)
+            elif flight.snapshot is not None:
+                chunk = flight.snapshot[lo:hi]
+            else:
+                chunk = b"\x00" * (hi - lo)
+            if chunk is not None:
+                assembled[lo - offset : hi - offset] = chunk
+        return bytes(assembled)
 
     # ------------------------------------------------------------------ #
     # Promotion lifecycle

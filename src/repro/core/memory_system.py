@@ -18,8 +18,9 @@ from __future__ import annotations
 import abc
 import struct
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.batch import batchable, reduction
 from repro.config import FlatFlashConfig
 from repro.costs import counters
 from repro.effects import effects
@@ -184,6 +185,29 @@ class MemorySystem(abc.ABC):
             return self._vpn_to_lpn[vpn]
         except KeyError:
             raise KeyError(f"vpn {vpn} is not mapped") from None
+
+    @batchable
+    @reduction(var="misses", op="+")
+    @reduction(var="walk_ns", op="+")
+    def warm_translations(self, vpns: Iterable[VPN]) -> Tuple[int, TimeNs]:
+        """Pre-install translations for a batch of pages, off the clock.
+
+        The page-table-walk loop the vectorized engine batches: each vpn
+        is probed through the TLB and, on a miss, walked and filled.
+        Iterations are independent up to the two declared commutative
+        sums, so the engine may replay them in any order.  Returns
+        (misses, total walk cost in ns); nothing is charged to the clock.
+        """
+        misses = 0
+        walk_ns = 0
+        for vpn in vpns:
+            if self.tlb.lookup(vpn):
+                continue
+            _pte, cost = self.page_table.walk(vpn)
+            self.tlb.fill(vpn)
+            misses += 1
+            walk_ns += cost
+        return misses, walk_ns
 
     # ------------------------------------------------------------------ #
     # Access path

@@ -13,7 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.cost import CostModel
+from repro.analysis.cost import DollarCostModel
 from repro.analysis.report import Table
 from repro.apps.database import run_oltp
 from repro.apps.graph_analytics import GraphEngine
@@ -96,7 +96,7 @@ def _dataset_pages(name: str) -> int:
 def run(workloads: Optional[List[str]] = None, dram_pages: int = 48) -> ExperimentResult:
     if workloads is None:
         workloads = list(PAPER)
-    model = CostModel()
+    model = DollarCostModel()
     gb_per_page = PAPER_DRAM_GB / dram_pages
     result = ExperimentResult("Table 3", "Cost-effectiveness vs DRAM-only")
     for name in workloads:

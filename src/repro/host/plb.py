@@ -23,8 +23,9 @@ for them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
+from repro.batch import batchable, reduction
 from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
@@ -111,6 +112,19 @@ class PLB:
         self._hits.record(entry is not None)
         return entry
 
+    @batchable
+    def batch_lookup(self, ssd_tags: Iterable[HostPage]) -> List[Optional[PLBEntry]]:
+        """CAM-probe a batch of SSD page tags (Fig. 4 lookup, vectorized).
+
+        A positional gather over the certified :meth:`lookup` kernel:
+        probes are independent, so a batched engine may issue them in any
+        order and reassemble the result list by position.
+        """
+        entries = []
+        for ssd_tag in ssd_tags:
+            entries.append(self.lookup(ssd_tag))
+        return entries
+
     @effects("MUTATES_STATE", "MUTATES_STATS")
     def inbound_line(self, entry: PLBEntry, line: int) -> bool:
         """An inbound line arrived from the SSD.
@@ -144,6 +158,21 @@ class PLB:
         removed = self._by_ssd_tag.pop(entry.ssd_tag, None)
         if removed is not entry:
             raise ValueError(f"entry for SSD page {entry.ssd_tag} not active")
+
+    @batchable
+    @reduction(var="retired", op="+")
+    def batch_retire(self, entries: Iterable[PLBEntry]) -> int:
+        """Retire a batch of completed promotions; returns how many.
+
+        Each removal is keyed by its own entry's SSD tag (a keyed
+        scatter: distinct slot per iteration), and the count is a
+        declared commutative sum — reorder-safe under batching.
+        """
+        retired = 0
+        for entry in entries:
+            self._by_ssd_tag.pop(entry.ssd_tag, None)
+            retired += 1
+        return retired
 
     def entries(self) -> List[PLBEntry]:
         return list(self._by_ssd_tag.values())

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.batch import batchable, reduction
 from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
@@ -81,12 +82,16 @@ class TLB:
         self._cached.pop(vpn, None)
         return self.shootdown_cost_ns
 
+    @batchable
+    @reduction(var="count", op="+")
     @effects("MUTATES_STATE", "MUTATES_STATS")
     def batch_invalidate(self, vpns: Iterable[VPN]) -> TimeNs:
         """Lazily propagate a batch of address changes with one interrupt.
 
         Cost is a single shootdown regardless of batch size (§4's single-
-        interrupt batch propagation).
+        interrupt batch propagation).  Each drop is keyed by its own vpn
+        and the count is a commutative sum, so the propagation loop is
+        reorder-safe under batching.
         """
         count = 0
         for vpn in vpns:

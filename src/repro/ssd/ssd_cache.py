@@ -13,8 +13,9 @@ relocation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.batch import batchable, reduction
 from repro.costs import counters
 from repro.effects import effects, kernel
 from repro.sim import domain_tags
@@ -154,6 +155,26 @@ class SSDCache:
     def peek(self, lpn: LPN) -> Optional[CacheEntry]:
         """Find a cached page without touching replacement or hit stats."""
         return self.lookup(lpn, record=False)
+
+    @batchable
+    @reduction(var="hits", op="+")
+    def batch_lookup(
+        self, lpns: Iterable[LPN]
+    ) -> Tuple[int, List[Optional[CacheEntry]]]:
+        """Probe a batch of logical pages; returns (hits, entries).
+
+        The cache-lookup loop the vectorized engine batches: a positional
+        gather over the certified :meth:`lookup` kernel plus a declared
+        commutative hit count — probes may run in any order.
+        """
+        entries = []
+        hits = 0
+        for lpn in lpns:
+            entry = self.lookup(lpn)
+            entries.append(entry)
+            if entry is not None:
+                hits += 1
+        return hits, entries
 
     @effects("MUTATES_STATE", "MUTATES_STATS")
     def insert(

@@ -14,12 +14,37 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.batch import batchable
 from repro.core.memory_system import MappedRegion, MemorySystem
 from repro.sim.stats import LatencyStats
 
 #: op codes in the packed representation.
 OP_LOAD = 0
 OP_STORE = 1
+
+
+@batchable
+def pack_ops(entries: Iterable[Tuple[int, int, int]]) -> List[Tuple[int, int, int]]:
+    """Validate and normalize raw (op, offset, size) triples into trace rows.
+
+    The workload emit loop the vectorized engine batches: each row is
+    checked and coerced independently of every other row (a positional
+    gather with no carried state), so a batched replay may materialize
+    the stream out of order and reassemble it by position.
+    """
+    packed: List[Tuple[int, int, int]] = []
+    for op, offset, size in entries:
+        op = int(op)
+        offset = int(offset)
+        size = int(size)
+        if op not in (OP_LOAD, OP_STORE):
+            raise ValueError(f"unknown op code {op}")
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        packed.append((op, offset, size))
+    return packed
 
 
 class Trace:
@@ -76,7 +101,7 @@ class Trace:
             packed = archive["ops"]
         if packed.ndim != 2 or packed.shape[1] != 3:
             raise ValueError(f"malformed trace file {path!r}")
-        return cls((int(op), int(offset), int(size)) for op, offset, size in packed)
+        return cls(pack_ops(packed))
 
     # ------------------------------------------------------------------ #
     # Replay

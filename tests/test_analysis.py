@@ -3,7 +3,7 @@
 import pytest
 
 from repro import FlatFlash, UnifiedMMap, small_config
-from repro.analysis.cost import CostModel, cost_effectiveness
+from repro.analysis.cost import DollarCostModel, cost_effectiveness
 from repro.analysis.lifetime import (
     flash_programs,
     lifetime_improvement,
@@ -12,17 +12,17 @@ from repro.analysis.lifetime import (
 from repro.analysis.report import Table, comparison_rows, format_ratio
 
 
-class TestCostModel:
+class TestDollarCostModel:
     def test_hybrid_cost(self):
-        model = CostModel()
+        model = DollarCostModel()
         assert model.hybrid_cost(dram_gb=2, ssd_gb=100) == 2 * 30 + 100 * 2
 
     def test_dram_only_cost_includes_base(self):
-        model = CostModel()
+        model = DollarCostModel()
         assert model.dram_only_cost(32) == 32 * 30 + 1_500
 
     def test_negative_capacity_rejected(self):
-        model = CostModel()
+        model = DollarCostModel()
         with pytest.raises(ValueError):
             model.hybrid_cost(-1, 0)
         with pytest.raises(ValueError):

@@ -214,7 +214,8 @@ class TestCrashHandling:
         assert "RuntimeError: boom" in crashes[0].error
         # the other tools still report their (empty) results
         assert set(per_tool) == {
-            "simlint", "simrace", "simflow", "simeffect", "simcost", "simboom",
+            "simlint", "simrace", "simflow", "simeffect", "simcost",
+            "simbatch", "simboom",
         }
 
     def test_run_exits_2_on_crash(self, tree, monkeypatch, capsys):
@@ -263,6 +264,7 @@ TOOL_CLIS = [
     ("simflow", "SF001"),
     ("simeffect", "SE001"),
     ("simcost", "SC001"),
+    ("simbatch", "SB001"),
 ]
 
 

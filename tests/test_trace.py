@@ -107,3 +107,22 @@ def test_synthetic_trace_validation():
         synthetic_trace(10, 4_096, locality=1.0)
     with pytest.raises(ValueError):
         synthetic_trace(10, 32)
+
+
+def test_pack_ops_normalizes_types():
+    from repro.workloads.trace import pack_ops
+
+    packed = pack_ops([(float(OP_LOAD), 64.0, 8.0)])
+    assert packed == [(OP_LOAD, 64, 8)]
+    assert all(isinstance(v, int) for v in packed[0])
+
+
+def test_pack_ops_rejects_bad_rows():
+    from repro.workloads.trace import pack_ops
+
+    with pytest.raises(ValueError):
+        pack_ops([(99, 0, 8)])
+    with pytest.raises(ValueError):
+        pack_ops([(OP_LOAD, -1, 8)])
+    with pytest.raises(ValueError):
+        pack_ops([(OP_LOAD, 0, 0)])
