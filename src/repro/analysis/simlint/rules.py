@@ -149,7 +149,52 @@ class UnseededRandomRule(Rule):
         "integers",
     }
 
+    #: The only attributes of the ``np.random`` namespace sim code may
+    #: touch: explicit-generator constructors.  Everything else is the
+    #: legacy global-state API.
+    _NUMPY_ALLOWED = {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+
+    @staticmethod
+    def _bare_np_random_nodes(tree: ast.Module) -> Iterator[ast.Attribute]:
+        """``np.random`` used as a value, not as ``np.random.<attr>``.
+
+        Aliasing the module (``rng = np.random``) or passing it where a
+        Generator is expected smuggles the global-state API past the
+        per-call checks, so the bare reference itself is flagged.
+        """
+        inner = {
+            id(node.value)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Attribute)
+        }
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in {"np", "numpy"}
+                and id(node) not in inner
+            ):
+                yield node
+
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        for bare in self._bare_np_random_nodes(tree):
+            yield self.violation(
+                ctx,
+                bare,
+                "bare np.random reference aliases the legacy global RNG; "
+                "pass an explicitly seeded np.random.default_rng instead",
+            )
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
                 yield self.violation(
@@ -187,7 +232,7 @@ class UnseededRandomRule(Rule):
                     continue
             if (
                 isinstance(func, ast.Attribute)
-                and func.attr in self._NUMPY_LEGACY
+                and func.attr not in self._NUMPY_ALLOWED
                 and isinstance(func.value, ast.Attribute)
                 and func.value.attr == "random"
                 and isinstance(func.value.value, ast.Name)
@@ -711,6 +756,7 @@ class FaultRandomnessRule(Rule):
     )
 
     _NUMPY_LEGACY = UnseededRandomRule._NUMPY_LEGACY
+    _NUMPY_ALLOWED = UnseededRandomRule._NUMPY_ALLOWED
 
     @staticmethod
     def _in_faults_scope(path: str) -> bool:
@@ -725,6 +771,14 @@ class FaultRandomnessRule(Rule):
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
         if not self._in_faults_scope(ctx.path):
             return
+        for bare in UnseededRandomRule._bare_np_random_nodes(tree):
+            yield self.violation(
+                ctx,
+                bare,
+                "bare np.random reference in fault-injection code aliases "
+                "the legacy global RNG; use the injector's seeded per-site "
+                "generators",
+            )
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -760,7 +814,7 @@ class FaultRandomnessRule(Rule):
                 continue
             if (
                 isinstance(func, ast.Attribute)
-                and func.attr in self._NUMPY_LEGACY
+                and func.attr not in self._NUMPY_ALLOWED
                 and text.startswith(("np.random.", "numpy.random."))
             ):
                 yield self.violation(

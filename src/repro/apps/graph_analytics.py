@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.memory_system import MemorySystem
+from repro.engine import AccessTrace, replay, replay_enabled
 from repro.workloads.graphs import CSRGraph
 
 
@@ -74,6 +75,69 @@ class GraphEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Trace compilation (engine phase 1)
+    # ------------------------------------------------------------------ #
+
+    def _iteration_trace(self, target_writes: bool) -> AccessTrace:
+        """One iteration's access stream as a flat trace.
+
+        Per vertex, in the scalar charging order: indptr load, own-state
+        load, sequential edge-line stream, and — with ``target_writes``
+        (PageRank's push phase) — one state store per out-edge target.
+        The stream depends only on the graph structure and geometry, so
+        it is compiled once and cached on the graph object (the cache is
+        keyed by the region base addresses, which repeat across sweep
+        cells that map the same graph the same way).
+        """
+        esize = self.ELEMENT_SIZE
+        line = self._line
+        indptr_base = self.indptr_region.addr(0)
+        edges_base = self.edges_region.addr(0)
+        state_base = self.state_region.addr(0)
+        key = (
+            "pagerank-iteration" if target_writes else "vertex-scan",
+            line,
+            indptr_base,
+            edges_base,
+            state_base,
+        )
+        cache = self.graph.__dict__.setdefault("_engine_traces", {})
+        trace = cache.get(key)
+        if trace is not None:
+            return trace
+        graph = self.graph
+        indptr = graph.indptr.tolist()
+        indices = graph.indices.tolist()
+        addrs: list = []
+        sizes: list = []
+        ops: list = []
+        for vertex in range(graph.num_vertices):
+            first = indptr[vertex]
+            last = indptr[vertex + 1]
+            addrs.append(indptr_base + vertex * esize)
+            sizes.append(esize)
+            ops.append(0)
+            addrs.append(state_base + vertex * esize)
+            sizes.append(esize)
+            ops.append(0)
+            if last > first:
+                edge_addr = (first * esize // line) * line
+                end = last * esize
+                while edge_addr < end:
+                    addrs.append(edges_base + edge_addr)
+                    sizes.append(line)
+                    ops.append(0)
+                    edge_addr += line
+                if target_writes:
+                    for target in indices[first:last]:
+                        addrs.append(state_base + target * esize)
+                        sizes.append(esize)
+                        ops.append(1)
+        trace = AccessTrace.from_columns(addrs, sizes, ops)
+        cache[key] = trace
+        return trace
+
+    # ------------------------------------------------------------------ #
     # Algorithms
     # ------------------------------------------------------------------ #
 
@@ -94,6 +158,23 @@ class GraphEngine:
         n = graph.num_vertices
         ranks = np.full(n, 1.0 / n, dtype=np.float64)
         out_degree = np.maximum(1, np.diff(graph.indptr)).astype(np.float64)
+        use_engine = charge_accesses and replay_enabled(self.system)
+        if use_engine:
+            # Replay the compiled iteration stream and do the push-phase
+            # math with one edge-ordered scatter-add: np.add.at applies
+            # updates in edge order, the same float accumulation sequence
+            # as the per-vertex loop, so the ranks are bit-identical.
+            trace = self._iteration_trace(target_writes=True)
+            degrees = np.diff(graph.indptr)
+            for _ in range(iterations):
+                replay(self.system, trace)
+                next_ranks = np.zeros(n, dtype=np.float64)
+                np.add.at(
+                    next_ranks, graph.indices, np.repeat(ranks / out_degree, degrees)
+                )
+                dangling = ranks[degrees == 0].sum()
+                ranks = (1.0 - damping) / n + damping * (next_ranks + dangling / n)
+            return ranks
         for _ in range(iterations):
             next_ranks = np.zeros(n, dtype=np.float64)
             for vertex in range(n):
@@ -223,23 +304,39 @@ class GraphEngine:
         # Propagate over both edge directions (weak connectivity).
         sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
         targets = graph.indices
+        use_engine = charge_accesses and replay_enabled(self.system)
+        scan_trace = self._iteration_trace(target_writes=False) if use_engine else None
+        state_base = self.state_region.addr(0)
         for _iteration in range(max_iterations):
             changed = False
-            for vertex in range(n):
-                first = int(graph.indptr[vertex])
-                last = int(graph.indptr[vertex + 1])
-                if charge_accesses:
-                    self._touch_indptr(vertex)
-                    self._touch_state(vertex, is_write=False)
-                    self._stream_edges(first, last - first)
+            if use_engine:
+                replay(self.system, scan_trace)
+            else:
+                for vertex in range(n):
+                    first = int(graph.indptr[vertex])
+                    last = int(graph.indptr[vertex + 1])
+                    if charge_accesses:
+                        self._touch_indptr(vertex)
+                        self._touch_state(vertex, is_write=False)
+                        self._stream_edges(first, last - first)
             # Vectorized min-label exchange along every edge (both ways).
             new_labels = labels.copy()
             np.minimum.at(new_labels, targets, labels[sources])
             np.minimum.at(new_labels, sources, labels[targets])
             if charge_accesses:
                 updated = np.nonzero(new_labels != labels)[0]
-                for vertex in updated:
-                    self._touch_state(int(vertex), is_write=True)
+                if use_engine:
+                    if updated.shape[0]:
+                        replay(
+                            self.system,
+                            AccessTrace.stores(
+                                state_base + updated * self.ELEMENT_SIZE,
+                                self.ELEMENT_SIZE,
+                            ),
+                        )
+                else:
+                    for vertex in updated:
+                        self._touch_state(int(vertex), is_write=True)
             if not np.array_equal(new_labels, labels):
                 changed = True
             labels = new_labels

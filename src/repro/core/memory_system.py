@@ -28,7 +28,7 @@ from repro.host.page_table import PageTable
 from repro.host.tlb import TLB
 from repro.sim.clock import SimClock
 from repro.sim.sanitizers import ClockSanitizer
-from repro.sim.stats import StatRegistry
+from repro.sim.stats import LatencyStats, StatRegistry
 from repro.units import LPN, VPN, OffsetBytes, TimeNs
 
 
@@ -127,6 +127,9 @@ class MemorySystem(abc.ABC):
         self._loads = self.stats.counter("mem.loads")
         self._stores = self.stats.counter("mem.stores")
         self._access_latency = self.stats.latency("mem.access", keep_samples=False)
+        # Per-source latency stats, cached by source name: the f-string
+        # format + registry lookup is measurable on the per-access path.
+        self._by_source_latency: Dict[str, LatencyStats] = {}
         # Time spent off the critical path (background promotion, eviction,
         # GC write-back); experiments report it separately.
         self._background_ns = self.stats.counter("mem.background_ns")
@@ -287,9 +290,11 @@ class MemorySystem(abc.ABC):
             remaining -= chunk
         self.clock.advance(total_latency)
         self._access_latency.record(total_latency)
-        self.stats.latency(f"mem.by_source.{source}", keep_samples=False).record(
-            total_latency
-        )
+        by_source = self._by_source_latency.get(source)
+        if by_source is None:
+            by_source = self.stats.latency(f"mem.by_source.{source}", keep_samples=False)
+            self._by_source_latency[source] = by_source
+        by_source.record(total_latency)
         merged = b"".join(chunks) if chunks else None
         return AccessResult(total_latency, source, fault, merged)
 

@@ -1,0 +1,137 @@
+"""Registry of the scalar kernels the fused replay path inlines.
+
+The interpreter's fused DRAM path does not call :meth:`TLB.lookup`,
+:meth:`TLB.fill`, :meth:`PageTable.walk` or :meth:`PageTable.lookup`
+through their Python entry points — it inlines their (tiny) bodies and
+batches their stat updates.  Every such inlined function is an
+*extracted kernel* and must stay tied to the static oracles:
+
+* it must be certified kernel-eligible in ``EFFECTS.json``;
+* its ``COSTS.json`` entry point's counter/latency contract must match
+  what the fused code applies (encoded here as ``counters`` and
+  ``returns_time`` and checked by tests/test_engine_oracles.py);
+* it must be reachable from a certified VECTORIZABLE/REDUCTION region
+  in ``BATCH.json`` (``region``), proving the loop around it is
+  batchable in the first place;
+* everything else the scalar access path can reach is ORDER_DEPENDENT
+  and is *delegated*, never inlined — ``DELEGATED_ORDER_DEPENDENT``
+  lists those boundaries so a gate can fail if a future kernel grows
+  across one.
+
+Anything the fused path touches that is **not** listed here (DRAM frame
+touch, payload writes, promotion settling, remap drains) is executed by
+calling the original scalar method, so no certification is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.engine import guards
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One scalar function the fused interpreter inlines."""
+
+    #: Dotted qualname as the oracles spell it (module path sans `repro.`).
+    qualname: str
+    #: Stat names the kernel may bump, exactly as COSTS.json bounds them.
+    counters: Tuple[str, ...] = ()
+    #: Whether the kernel returns a latency the caller charges
+    #: (COSTS.json's ``returns_time``).
+    returns_time: bool = False
+    #: The BATCH.json certified region whose loop covers this kernel.
+    #: ``None`` is only legal for kernels COSTS.json proves pure (no
+    #: counters, no clock charge): purity implies reorder-safety without
+    #: needing a certified loop to witness it.
+    region: Optional[str] = "core.memory_system.MemorySystem.warm_translations"
+    #: How the fused interpreter realises the kernel (documentation for
+    #: the differential suite's failure messages).
+    strategy: str = field(default="inline", compare=False)
+
+
+#: The fused DRAM fast path, kernel by kernel.  The per-op sequence is
+#: pte peek -> tlb probe -> (walk + fill on miss) -> scalar frame touch.
+KERNELS: Dict[str, KernelSpec] = {
+    "pte_peek": KernelSpec(
+        qualname="host.page_table.PageTable.lookup",
+        counters=(),
+        returns_time=False,
+        region=None,  # pure probe per COSTS.json; reorder-safe by construction
+        strategy="inline dict .get; side-effect-free dispatch probe",
+    ),
+    "tlb_probe": KernelSpec(
+        qualname="host.tlb.TLB.lookup",
+        counters=("tlb.hits:hit", "tlb.hits:miss", "tlb.hits:total"),
+        returns_time=False,
+        region="core.memory_system.MemorySystem.warm_translations",
+        strategy="inline OrderedDict membership + move_to_end; hits batched",
+    ),
+    "pt_walk": KernelSpec(
+        qualname="host.page_table.PageTable.walk",
+        counters=("page_table.walks",),
+        returns_time=True,
+        region="core.memory_system.MemorySystem.warm_translations",
+        strategy="walk counter batched; walk_cost_ns folded into latency tally",
+    ),
+    "tlb_fill": KernelSpec(
+        qualname="host.tlb.TLB.fill",
+        counters=(),
+        returns_time=False,
+        region="core.memory_system.MemorySystem.warm_translations",
+        strategy="inline LRU insert with capacity eviction",
+    ),
+}
+
+#: ORDER_DEPENDENT functions on the scalar access path.  The fused path
+#: must *delegate* any access that can reach one of these; the
+#: interpreter's dispatch rule (delegate unless the PTE is a present
+#: DRAM mapping and the access stays inside one page) guarantees it.
+DELEGATED_ORDER_DEPENDENT: Tuple[str, ...] = (
+    "core.memory_system.MemorySystem._access",
+    "core.hierarchy.FlatFlash._plb_access",
+    "core.hierarchy.FlatFlash._start_pending_promotions",
+    "core.hierarchy.FlatFlash._settle_promotions",
+    "core.hierarchy.FlatFlash._complete_promotion",
+    "core.hierarchy.FlatFlash._drain_remaps",
+    "core.hierarchy.FlatFlash._guarded_mmio",
+)
+
+
+def check_kernel_certified(spec: KernelSpec) -> None:
+    """Raise if ``spec`` violates any oracle contract (used by tests)."""
+    certified = guards.certified_functions()
+    if spec.qualname not in certified:
+        raise AssertionError(f"{spec.qualname} is not certified in EFFECTS.json")
+    entry = guards.cost_entry(spec.qualname)
+    declared = tuple(sorted(entry.get("counters", ())))
+    if declared != tuple(sorted(spec.counters)):
+        raise AssertionError(
+            f"{spec.qualname}: COSTS.json counters {declared} != kernel "
+            f"spec counters {tuple(sorted(spec.counters))}"
+        )
+    if bool(entry.get("returns_time")) != spec.returns_time:
+        raise AssertionError(
+            f"{spec.qualname}: COSTS.json returns_time={entry.get('returns_time')} "
+            f"!= kernel spec returns_time={spec.returns_time}"
+        )
+    if spec.region is None:
+        # Purity must be witnessed by COSTS.json: no counters, no clock
+        # charge, no latency charges on any path.
+        if entry.get("counters") or entry.get("charges") or entry.get("charges_clock"):
+            raise AssertionError(
+                f"{spec.qualname} has effects per COSTS.json and therefore "
+                f"needs a BATCH.json region"
+            )
+        return
+    region = guards.batch_region(spec.region)
+    if not region.get("certified"):
+        raise AssertionError(f"region {spec.region} is not certified in BATCH.json")
+    if spec.qualname != region["function"] and spec.qualname not in region.get(
+        "kernel_calls", ()
+    ):
+        raise AssertionError(
+            f"{spec.qualname} is not covered by BATCH.json region {spec.region}"
+        )

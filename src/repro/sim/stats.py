@@ -62,6 +62,23 @@ class RatioStat:
         if hit:
             self.hits += 1
 
+    def record_batch(self, hits: int, total: int) -> None:
+        """Record ``hits`` hits out of ``total`` trials in one update.
+
+        Equivalent to ``total`` calls to :meth:`record` — both fields
+        are commutative sums.  Used by the replay engine's stat flush.
+        """
+        if hits < 0 or total < hits:
+            raise ValueError(
+                f"need 0 <= hits <= total on {self.name!r}, got {hits}/{total}"
+            )
+        if total == 0:
+            return
+        if race._ACTIVE is not None:
+            race._ACTIVE.note(self, "total", "w")
+        self.total += total
+        self.hits += hits
+
     @property
     def misses(self) -> int:
         return self.total - self.hits
@@ -117,6 +134,31 @@ class LatencyStats:
     def extend(self, latencies: Iterable[int]) -> None:
         for latency in latencies:
             self.record(latency)
+
+    def record_batch(self, latency_ns: int, count: int) -> None:
+        """Record ``count`` identical samples in one update.
+
+        Equivalent to ``count`` calls to :meth:`record` — the summary
+        fields are commutative, so batched recording is exact.  Used by
+        the replay engine (repro.engine) to flush per-value tallies.
+        """
+        if count < 0:
+            raise ValueError(f"negative batch count on {self.name!r}: {count}")
+        if count == 0:
+            return
+        latency = int(latency_ns)
+        if latency < 0:
+            raise ValueError(f"negative latency recorded on {self.name!r}: {latency}")
+        if race._ACTIVE is not None:
+            race._ACTIVE.note(self, "_count", "w")
+        self._count += count
+        self._sum += latency * count
+        if self._min is None or latency < self._min:
+            self._min = latency
+        if self._max is None or latency > self._max:
+            self._max = latency
+        if self.keep_samples:
+            self._samples.extend([latency] * count)
 
     @property
     def samples(self) -> List[int]:

@@ -141,7 +141,10 @@ class ByteAddressableSSD:
         self.bar = BarWindow(bar_base, span_pages * geometry.page_size)
 
         # GC remap table: old ppn -> new ppn, drained lazily by the host.
+        # The reverse index (target ppn -> sources pointing at it) keeps
+        # chain collapsing O(chain length) instead of O(table size).
         self._remap: Dict[int, int] = {}
+        self._remap_sources: Dict[int, List[int]] = {}
         if host_merged_ftl:
             self.ftl.add_relocate_hook(self._on_relocate)
 
@@ -188,10 +191,28 @@ class ByteAddressableSSD:
     def _on_relocate(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
         # Collapse chains so lookups stay O(1): anything that pointed at
         # old_ppn now points at new_ppn directly.
-        for source, target in list(self._remap.items()):
-            if target == old_ppn:
-                self._remap[source] = new_ppn
-        self._remap[old_ppn] = new_ppn
+        remap = self._remap
+        index = self._remap_sources
+        sources = index.pop(old_ppn, None)
+        if sources:
+            for source in sources:
+                remap[source] = new_ppn
+            index.setdefault(new_ppn, []).extend(sources)
+        prev = remap.get(old_ppn)
+        if prev is not None:
+            if prev == new_ppn:
+                return
+            bucket = index.get(prev)
+            if bucket is not None:
+                bucket.remove(old_ppn)
+        remap[old_ppn] = new_ppn
+        index.setdefault(new_ppn, []).append(old_ppn)
+
+    def _rebuild_remap_index(self) -> None:
+        index: Dict[int, List[int]] = {}
+        for source, target in self._remap.items():
+            index.setdefault(target, []).append(source)
+        self._remap_sources = index
 
     def _on_cache_evict(self, entry: CacheEntry) -> None:
         if self.promotion_manager is not None:
@@ -246,6 +267,7 @@ class ByteAddressableSSD:
             return {}, 0
         updates = {HostPage(old): HostPage(new) for old, new in self._remap.items()}
         self._remap.clear()
+        self._remap_sources.clear()
         return updates, self.config.latency.pte_tlb_update_ns
 
     def take_background_ns(self) -> int:
@@ -520,4 +542,5 @@ class ByteAddressableSSD:
         self.flash.restore_state(image["flash"])
         self.ftl.restore_state(image["ftl"])
         self._remap = dict(image["remap"])
+        self._rebuild_remap_index()
         self._posted_log.clear()

@@ -41,9 +41,25 @@ _SHADOW_CODE = {
 
 
 class FlashBlock:
-    """One erase block: page states, an erase counter and a bad-block flag."""
+    """One erase block: page states, an erase counter and a bad-block flag.
 
-    __slots__ = ("index", "pages_per_block", "states", "erase_count", "bad")
+    Per-state page counts are cached and maintained incrementally — GC
+    victim selection scans every block's counts per run, so recomputing
+    them from ``states`` would be quadratic in device size.  All state
+    transitions must go through :meth:`set_state` (or the whole-block
+    resets below) to keep the counts in sync.
+    """
+
+    __slots__ = (
+        "index",
+        "pages_per_block",
+        "states",
+        "erase_count",
+        "bad",
+        "_erased",
+        "_invalid",
+        "_valid",
+    )
 
     def __init__(self, index: int, pages_per_block: int) -> None:
         self.index = index
@@ -53,18 +69,52 @@ class FlashBlock:
         # Retired: an erase failed here, or the wear limit was reached.  Bad
         # blocks never rejoin the free rotation and are skipped by GC.
         self.bad = False
+        self._erased = pages_per_block
+        self._invalid = 0
+        self._valid = 0
+
+    def set_state(self, offset: int, state: FlashPageState) -> None:
+        """Transition one page's state, keeping the cached counts exact."""
+        old = self.states[offset]
+        if old is state:
+            return
+        self.states[offset] = state
+        if old is FlashPageState.ERASED:
+            self._erased -= 1
+        elif old is FlashPageState.PROGRAMMED:
+            self._valid -= 1
+        else:
+            self._invalid -= 1
+        if state is FlashPageState.ERASED:
+            self._erased += 1
+        elif state is FlashPageState.PROGRAMMED:
+            self._valid += 1
+        else:
+            self._invalid += 1
+
+    def reset_erased(self) -> None:
+        """Whole-block erase: every page is ERASED again."""
+        self._erased = self.pages_per_block
+        self._invalid = 0
+        self._valid = 0
+
+    def recount(self) -> None:
+        """Rebuild the cached counts from ``states`` (image restore)."""
+        self._erased = sum(1 for s in self.states if s is FlashPageState.ERASED)
+        self._invalid = sum(1 for s in self.states if s is FlashPageState.INVALID)
+        self._valid = len(self.states) - self._erased - self._invalid
 
     @property
     def erased_pages(self) -> int:
-        return sum(1 for s in self.states if s is FlashPageState.ERASED)
+        return self._erased
 
     @property
     def invalid_pages(self) -> int:
-        return sum(1 for s in self.states if s is FlashPageState.INVALID)
+        return self._invalid
 
     @property
     def valid_pages(self) -> int:
-        return sum(1 for s in self.states if s is FlashPageState.PROGRAMMED)
+        return self._valid
 
 
 class FlashArray:
@@ -174,12 +224,12 @@ class FlashArray:
             # Program failure burns the page: it goes straight to INVALID
             # (unusable until its block is erased) and holds no data.  The
             # FTL retries on the next frontier page.
-            block.states[offset] = FlashPageState.INVALID
+            block.set_state(offset, FlashPageState.INVALID)
             self._program_fails.add()
             if self.sanitizer is not None:
                 self.sanitizer.on_program_fail(ppn)
             return FlashOp(self.latency.flash_program_page_ns, None, failed=True)
-        block.states[offset] = FlashPageState.PROGRAMMED
+        block.set_state(offset, FlashPageState.PROGRAMMED)
         self._programs.add()
         if self.track_data:
             self._data[ppn] = bytes(data) if data is not None else b"\x00" * self.page_size
@@ -193,7 +243,7 @@ class FlashArray:
             self.sanitizer.on_invalidate(ppn)
         if block.states[offset] is not FlashPageState.PROGRAMMED:
             raise RuntimeError(f"invalidate of non-programmed page ppn={ppn}")
-        block.states[offset] = FlashPageState.INVALID
+        block.set_state(offset, FlashPageState.INVALID)
         if self.track_data:
             self._data.pop(ppn, None)
 
@@ -225,6 +275,7 @@ class FlashArray:
             block.states[offset] = FlashPageState.ERASED
             if self.track_data:
                 self._data.pop(first + offset, None)
+        block.reset_erased()
         block.erase_count += 1
         self._erases.add()
         if self.wear_limit > 0 and block.erase_count >= self.wear_limit:
@@ -279,6 +330,7 @@ class FlashArray:
             self.blocks, image["states"], image["erase_counts"], image["bad"]
         ):
             block.states = list(states)
+            block.recount()
             block.erase_count = int(erases)
             block.bad = bool(bad)
         self._data = dict(image["data"])

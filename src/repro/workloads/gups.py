@@ -16,6 +16,28 @@ from typing import Optional
 import numpy as np
 
 from repro.core.memory_system import MappedRegion, MemorySystem
+from repro.engine import AccessTrace, replay, replay_enabled
+
+
+def compile_trace(
+    region: MappedRegion,
+    num_updates: int,
+    rng: Optional[np.random.Generator] = None,
+) -> AccessTrace:
+    """Compile the RandomAccess stream to a flat trace (engine phase 1).
+
+    Draws indices then values in the same order as :func:`run_gups`, so
+    a shared generator stays stream-compatible between the two paths;
+    each update becomes a load/store pair at the same word address.
+    """
+    if num_updates <= 0:
+        raise ValueError(f"num_updates must be > 0, got {num_updates}")
+    if rng is None:
+        rng = np.random.default_rng(1234)
+    words = region.size // 8
+    indices = rng.integers(0, words, size=num_updates)
+    rng.integers(0, 2**63, size=num_updates, dtype=np.uint64)  # values (unused)
+    return AccessTrace.interleaved_rw(region.addr(0) + indices * 8, 8)
 
 
 @dataclass
@@ -58,6 +80,16 @@ def run_gups(
         raise ValueError(f"num_updates must be > 0, got {num_updates}")
     if rng is None:
         rng = np.random.default_rng(1234)
+    if not verify and replay_enabled(system):
+        trace = compile_trace(region, num_updates, rng)
+        start_ns = system.clock.now
+        start_moves = system.page_movements
+        replay(system, trace)
+        return GUPSResult(
+            updates=num_updates,
+            elapsed_ns=system.clock.now - start_ns,
+            page_movements=system.page_movements - start_moves,
+        )
     words = region.size // 8
     indices = rng.integers(0, words, size=num_updates)
     values = rng.integers(0, 2**63, size=num_updates, dtype=np.uint64)

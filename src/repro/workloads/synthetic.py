@@ -4,6 +4,12 @@ The paper's first experiment maps a file spanning the whole SSD, warms the
 system by touching the pages randomly, then measures the average latency of
 sequential and random 64-byte accesses.  These functions reproduce that
 driver against any :class:`~repro.core.memory_system.MemorySystem`.
+
+Each driver has a ``compile_*_trace`` twin that emits the identical access
+stream as a flat :class:`~repro.engine.trace.AccessTrace` (engine phase 1);
+the drivers replay it through :func:`repro.engine.replay` when the
+system's config enables the engine, and fall back to the scalar per-op
+loop otherwise — results are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -13,7 +19,24 @@ from typing import Optional
 import numpy as np
 
 from repro.core.memory_system import MappedRegion, MemorySystem
+from repro.engine import AccessTrace, replay, replay_enabled
 from repro.sim.stats import LatencyStats
+
+
+def compile_warmup_trace(
+    region: MappedRegion,
+    num_accesses: int,
+    line_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> AccessTrace:
+    """The :func:`warm_up` access stream as a flat trace."""
+    if rng is None:
+        rng = np.random.default_rng(42)
+    pages = rng.integers(0, region.num_pages, size=num_accesses)
+    lines_per_page = region.page_size // line_size
+    offsets = rng.integers(0, lines_per_page, size=num_accesses) * line_size
+    addrs = region.addr(0) + pages * region.page_size + offsets
+    return AccessTrace.loads(addrs, line_size)
 
 
 def warm_up(
@@ -23,14 +46,37 @@ def warm_up(
     rng: Optional[np.random.Generator] = None,
 ) -> None:
     """Touch random pages of the region to populate caches and DRAM."""
+    line = system.config.geometry.cacheline_size
+    if replay_enabled(system):
+        replay(system, compile_warmup_trace(region, num_accesses, line, rng))
+        return
     if rng is None:
         rng = np.random.default_rng(42)
-    line = system.config.geometry.cacheline_size
     pages = rng.integers(0, region.num_pages, size=num_accesses)
     lines_per_page = region.page_size // line
     offsets = rng.integers(0, lines_per_page, size=num_accesses) * line
     for page, offset in zip(pages, offsets):
         system.load(region.page_addr(int(page), int(offset)), line)
+
+
+def compile_sequential_trace(
+    region: MappedRegion,
+    num_ops: int,
+    size: int = 64,
+    write_ratio: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> AccessTrace:
+    """The :func:`sequential_access` stream as a flat trace."""
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError(f"write_ratio must be in [0, 1], got {write_ratio}")
+    if rng is None:
+        rng = np.random.default_rng(7)
+    writes = rng.random(num_ops) < write_ratio
+    total_lines = region.size // size
+    offsets = (np.arange(num_ops, dtype=np.int64) % total_lines) * size
+    return AccessTrace.from_columns(
+        region.addr(0) + offsets, size, writes.astype(np.uint8)
+    )
 
 
 def sequential_access(
@@ -44,9 +90,14 @@ def sequential_access(
     """Sequential cache-line sweep over the region; returns per-op latencies."""
     if not 0.0 <= write_ratio <= 1.0:
         raise ValueError(f"write_ratio must be in [0, 1], got {write_ratio}")
+    stats = LatencyStats("sequential")
+    if replay_enabled(system):
+        trace = compile_sequential_trace(region, num_ops, size, write_ratio, rng)
+        result = replay(system, trace)
+        stats.extend(result.latencies.tolist())
+        return stats
     if rng is None:
         rng = np.random.default_rng(7)
-    stats = LatencyStats("sequential")
     writes = rng.random(num_ops) < write_ratio
     total_lines = region.size // size
     for op in range(num_ops):
@@ -60,6 +111,26 @@ def sequential_access(
     return stats
 
 
+def compile_random_trace(
+    region: MappedRegion,
+    num_ops: int,
+    size: int = 64,
+    write_ratio: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> AccessTrace:
+    """The :func:`random_access` stream as a flat trace."""
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError(f"write_ratio must be in [0, 1], got {write_ratio}")
+    if rng is None:
+        rng = np.random.default_rng(11)
+    total_lines = region.size // size
+    indices = rng.integers(0, total_lines, size=num_ops)
+    writes = rng.random(num_ops) < write_ratio
+    return AccessTrace.from_columns(
+        region.addr(0) + indices * size, size, writes.astype(np.uint8)
+    )
+
+
 def random_access(
     system: MemorySystem,
     region: MappedRegion,
@@ -71,9 +142,14 @@ def random_access(
     """Uniformly random cache-line accesses; returns per-op latencies."""
     if not 0.0 <= write_ratio <= 1.0:
         raise ValueError(f"write_ratio must be in [0, 1], got {write_ratio}")
+    stats = LatencyStats("random")
+    if replay_enabled(system):
+        trace = compile_random_trace(region, num_ops, size, write_ratio, rng)
+        result = replay(system, trace)
+        stats.extend(result.latencies.tolist())
+        return stats
     if rng is None:
         rng = np.random.default_rng(11)
-    stats = LatencyStats("random")
     total_lines = region.size // size
     indices = rng.integers(0, total_lines, size=num_ops)
     writes = rng.random(num_ops) < write_ratio

@@ -102,3 +102,37 @@ def generate_ops(
         else:
             key = int(rng.integers(0, num_records))
         yield op, key
+
+
+def compile_trace(
+    workload: YCSBWorkload,
+    num_ops: int,
+    num_records: int,
+    base_addr: int,
+    capacity_records: Optional[int] = None,
+    record_size: int = RECORD_SIZE,
+    theta: float = 0.99,
+    seed: int = 21,
+):
+    """Compile the workload's op stream to a flat access trace (engine
+    phase 1).
+
+    Mirrors :func:`repro.apps.kvstore.run_ycsb`: each read becomes one
+    ``record_size`` load and each update/insert one store, at
+    ``base_addr + key * record_size`` with keys wrapped to
+    ``capacity_records`` the way the driver wraps them.
+    """
+    from repro.engine import OP_LOAD, OP_STORE, AccessTrace
+
+    if capacity_records is None:
+        capacity_records = num_records
+    addrs = np.empty(num_ops, dtype=np.int64)
+    ops = np.empty(num_ops, dtype=np.uint8)
+    for index, (op, key) in enumerate(
+        generate_ops(workload, num_ops, num_records, theta=theta, seed=seed)
+    ):
+        if key >= capacity_records:
+            key = key % capacity_records
+        addrs[index] = base_addr + key * record_size
+        ops[index] = OP_LOAD if op is OpType.READ else OP_STORE
+    return AccessTrace.from_columns(addrs, record_size, ops)

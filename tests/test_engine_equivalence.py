@@ -1,0 +1,265 @@
+"""Differential gate for the trace-replay engine (ROADMAP item 1).
+
+Random traces — mixed read/write, multi-thread, skewed and sequential,
+promotion-triggering densities — are executed twice against identically
+configured systems: once through the scalar ``load``/``store`` loop and
+once through :func:`repro.engine.replay`.  Every observable must match
+exactly: per-op latencies, stats counters (hit/miss classifications,
+promotion decisions), final page-table state, TLB content and order,
+DRAM frame state, and the simulated clock.
+
+Two seeded mutants then check the gate has teeth: an off-by-one at a
+chunk boundary and a dropped promotion settle must each be caught at the
+expected assertion.
+
+The suite-wide sanitizer/domain-tag instrumentation is switched off here
+(module fixture): with it on, :func:`repro.engine.guards.fused_blockers`
+forces the whole-trace scalar fallback, which is exercised separately in
+``test_fallback_under_instrumentation``.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DRAMOnly, TraditionalStack, UnifiedMMap
+from repro.config import EngineConfig, small_config
+from repro.core.hierarchy import FlatFlash
+from repro.engine import AccessTrace, replay
+from repro.sim import domain_tags, sanitizers
+
+# The package re-exports the replay *function* under the submodule's
+# name, so fetch the module itself for monkeypatching internals.
+replay_module = importlib.import_module("repro.engine.replay")
+
+SYSTEMS = {
+    "FlatFlash": FlatFlash,
+    "UnifiedMMap": UnifiedMMap,
+    "TraditionalStack": TraditionalStack,
+    "DRAMOnly": DRAMOnly,
+}
+REGION_PAGES = 24
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _plain_simulators():
+    """Shadow instrumentation off, so the fused fast path actually runs."""
+    previous_sanitizers = sanitizers.set_default_enabled(False)
+    previous_tags = domain_tags.set_enabled(False)
+    yield
+    sanitizers.set_default_enabled(previous_sanitizers)
+    domain_tags.set_enabled(previous_tags)
+
+
+def build_system(kind_name, track_data=False, chunk_ops=64):
+    """A small system + one mapped region; tiny chunks exercise chunking."""
+    config = small_config(
+        track_data=track_data, engine=EngineConfig(enabled=True, chunk_ops=chunk_ops)
+    )
+    if kind_name == "DRAMOnly":
+        config.geometry.dram_pages = REGION_PAGES + 8
+    kind = SYSTEMS[kind_name]
+    system = kind(config)
+    region = system.mmap(REGION_PAGES)
+    return system, region
+
+
+def observable_state(system):
+    """Everything the scalar path can have mutated, exactly."""
+    page_table = {
+        vpn: (pte.domain.name, pte.present, pte.frame_index, pte.ssd_page, pte.persist)
+        for vpn, pte in system.page_table._entries.items()
+    }
+    tlb_order = list(system.tlb._cached.keys())
+    frames = [
+        (
+            frame.index,
+            frame.vpn,
+            frame.dirty,
+            frame.referenced,
+            None if frame.data is None else bytes(frame.data),
+        )
+        for frame in system.dram.frames
+    ]
+    return {
+        "page_table": page_table,
+        "tlb": tlb_order,
+        "frames": frames,
+        "clock": system.clock.now,
+        "stats": system.stats.snapshot(),
+    }
+
+
+def run_scalar(system, trace):
+    """Reference semantics: one public load/store per trace row."""
+    latencies = []
+    for addr, size, op, _thread, _ts in trace.rows.tolist():
+        if op:
+            result = system.store(int(addr), int(size))
+        else:
+            result = system.load(int(addr), int(size))
+        latencies.append(result.latency_ns)
+    return latencies
+
+
+def assert_equivalent(kind_name, trace, track_data=False, chunk_ops=64):
+    scalar_system, _ = build_system(kind_name, track_data, chunk_ops)
+    engine_system, _ = build_system(kind_name, track_data, chunk_ops)
+    scalar_latencies = run_scalar(scalar_system, trace)
+    result = replay(engine_system, trace)
+    assert result.blockers == [], "fused mode unexpectedly off"
+    assert result.latencies.tolist() == scalar_latencies, "latencies diverged"
+    scalar_state = observable_state(scalar_system)
+    engine_state = observable_state(engine_system)
+    for key in scalar_state:
+        assert engine_state[key] == scalar_state[key], f"{kind_name} diverged on {key}"
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis-generated traces
+# --------------------------------------------------------------------- #
+
+page = 4096
+
+
+@st.composite
+def traces(draw, max_ops=120):
+    """Mixed-shape traces over the mapped region, as (addr, size, op) rows."""
+    num_ops = draw(st.integers(min_value=1, max_value=max_ops))
+    shape = draw(st.sampled_from(["uniform", "hot", "sequential"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    if shape == "uniform":
+        addrs = rng.integers(0, REGION_PAGES * page - 128, size=num_ops)
+    elif shape == "hot":
+        # High page reuse: SSD-resident pages cross FlatFlash's promotion
+        # threshold, so in-flight promotions and settles get exercised.
+        hot_pages = rng.integers(0, max(2, REGION_PAGES // 8), size=num_ops)
+        addrs = hot_pages * page + rng.integers(0, page - 64, size=num_ops)
+    else:
+        stride = draw(st.sampled_from([8, 64, 256]))
+        addrs = (np.arange(num_ops, dtype=np.int64) * stride) % (REGION_PAGES * page - 128)
+    sizes = rng.choice([1, 8, 64, 100, 128], size=num_ops)
+    ops = rng.integers(0, 2, size=num_ops)
+    threads = rng.integers(0, 4, size=num_ops)
+    return addrs.astype(np.int64), sizes.astype(np.int64), ops, threads
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=traces(),
+    kind_name=st.sampled_from(sorted(SYSTEMS)),
+    track_data=st.booleans(),
+)
+def test_random_traces_equivalent(rows, kind_name, track_data):
+    addrs, sizes, ops, threads = rows
+    base = build_system(kind_name)[1].addr(0)
+    trace = AccessTrace.from_columns(base + addrs, sizes, ops, threads=threads)
+    assert_equivalent(kind_name, trace, track_data=track_data)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(chunk_ops=st.integers(min_value=1, max_value=130), seed=st.integers(0, 2**31))
+def test_chunk_boundaries_invisible(chunk_ops, seed):
+    """Chunk size is an implementation detail: any value replays the same."""
+    rng = np.random.default_rng(seed)
+    num_ops = 128
+    addrs = rng.integers(0, REGION_PAGES * page - 128, size=num_ops).astype(np.int64)
+    trace = AccessTrace.interleaved_rw(addrs, 8)
+    assert_equivalent("FlatFlash", trace, chunk_ops=chunk_ops)
+
+
+def test_promotion_decisions_match():
+    """Hot SSD pages cross the promotion threshold identically both ways."""
+    rng = np.random.default_rng(3)
+    hot = rng.integers(0, 3, size=400) * page + rng.integers(0, page - 8, size=400)
+    trace = AccessTrace.interleaved_rw(hot.astype(np.int64), 8)
+    scalar_system, _ = build_system("FlatFlash")
+    engine_system, _ = build_system("FlatFlash")
+    run_scalar(scalar_system, trace)
+    replay(engine_system, trace)
+    promoted_scalar = scalar_system.stats.counters().get("mem.promotions", 0)
+    promoted_engine = engine_system.stats.counters().get("mem.promotions", 0)
+    assert promoted_scalar == promoted_engine
+    assert observable_state(scalar_system) == observable_state(engine_system)
+
+
+def test_fallback_under_instrumentation():
+    """Sanitizers active -> whole-trace scalar fallback, still exact."""
+    previous = sanitizers.set_default_enabled(True)
+    try:
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, REGION_PAGES * page - 128, size=60).astype(np.int64)
+        trace = AccessTrace.interleaved_rw(addrs, 8)
+        scalar_system, _ = build_system("FlatFlash")
+        engine_system, _ = build_system("FlatFlash")
+        scalar_latencies = run_scalar(scalar_system, trace)
+        result = replay(engine_system, trace)
+        assert result.blockers  # fused mode refused, not silently wrong
+        assert result.fused_ops == 0
+        assert result.latencies.tolist() == scalar_latencies
+        assert observable_state(scalar_system) == observable_state(engine_system)
+    finally:
+        sanitizers.set_default_enabled(previous)
+
+
+def test_raising_replay_leaves_scalar_state():
+    """An unmapped row raises exactly like scalar, with stats flushed."""
+    scalar_system, region = build_system("FlatFlash")
+    engine_system, _ = build_system("FlatFlash")
+    good = region.addr(0) + np.arange(10, dtype=np.int64) * 8
+    unmapped = np.int64(REGION_PAGES * page * 64)
+    addrs = np.concatenate([good, [unmapped]])
+    trace = AccessTrace.loads(addrs, 8)
+    with pytest.raises(KeyError) as scalar_err:
+        run_scalar(scalar_system, trace)
+    with pytest.raises(KeyError) as engine_err:
+        replay(engine_system, trace)
+    assert str(scalar_err.value) == str(engine_err.value)
+    assert observable_state(scalar_system) == observable_state(engine_system)
+
+
+# --------------------------------------------------------------------- #
+# Seeded mutants: the gate must catch them at the expected assertion
+# --------------------------------------------------------------------- #
+
+
+def test_mutant_chunk_boundary_off_by_one_is_caught(monkeypatch):
+    """Dropping the row straddling a chunk boundary must trip the gate."""
+
+    real = replay_module._replay_fused
+
+    def mutant_replay_fused(system, rows, latencies):
+        return real(system, rows[:-1], latencies[:-1])
+
+    monkeypatch.setattr(replay_module, "_replay_fused", mutant_replay_fused)
+    rng = np.random.default_rng(9)
+    addrs = rng.integers(0, REGION_PAGES * page - 128, size=64).astype(np.int64)
+    trace = AccessTrace.interleaved_rw(addrs, 8)
+    with pytest.raises(AssertionError, match="latencies diverged"):
+        assert_equivalent("FlatFlash", trace, chunk_ops=64)
+
+
+def test_mutant_dropped_promotion_is_caught(monkeypatch):
+    """Skipping promotion settles must show up in page-table/frame state."""
+    monkeypatch.setattr(FlatFlash, "_settle_promotions", lambda self: None)
+    rng = np.random.default_rng(3)
+    hot = rng.integers(0, 3, size=400) * page + rng.integers(0, page - 8, size=400)
+    trace = AccessTrace.interleaved_rw(hot.astype(np.int64), 8)
+    engine_system, _ = build_system("FlatFlash")
+    replay(engine_system, trace)
+    mutated = observable_state(engine_system)
+    monkeypatch.undo()
+    reference_system, _ = build_system("FlatFlash")
+    replay(reference_system, trace)
+    reference = observable_state(reference_system)
+    assert mutated != reference  # the suite's state comparison catches it
+    assert mutated["page_table"] != reference["page_table"]

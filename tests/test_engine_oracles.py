@@ -1,0 +1,151 @@
+"""Cross-oracle consistency gate for the replay engine's kernel registry.
+
+The fused interpreter (:mod:`repro.engine.replay`) inlines exactly the
+scalar functions listed in :data:`repro.engine.kernels.KERNELS`.  Each
+must stay tied to the three committed static-analysis oracles:
+
+* **EFFECTS.json** — the kernel is certified kernel-eligible (pure or
+  commutative-stats only), so batching its stat updates is exact;
+* **COSTS.json** — the entry point's counter set and returned-latency
+  contract match what the fused code applies;
+* **BATCH.json** — the kernel is covered by a certified
+  VECTORIZABLE/REDUCTION region, proving the loop around it batches,
+  and *never* sits inside an ORDER_DEPENDENT loop the interpreter
+  would be bypassing.
+
+If a future refactor makes one of these functions impure (EFFECTS drops
+it), changes its counters (COSTS diverges), or gives it a loop-carried
+dependence (BATCH reclassifies), regenerating the oracles via
+``make reports`` turns this suite red before the engine can go wrong.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import guards, kernels
+from repro.engine.kernels import DELEGATED_ORDER_DEPENDENT, KERNELS, KernelSpec
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_certified_against_all_oracles(name):
+    """Every inlined kernel passes the full EFFECTS/COSTS/BATCH contract."""
+    kernels.check_kernel_certified(KERNELS[name])
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_not_order_dependent(name):
+    """No inlined kernel contains an ORDER_DEPENDENT loop (bypass gate)."""
+    spec = KERNELS[name]
+    classifications = guards.loop_classifications(spec.qualname)
+    assert "ORDER_DEPENDENT" not in classifications, (
+        f"{spec.qualname} has an ORDER_DEPENDENT loop; the fused path "
+        f"must delegate it, not inline it"
+    )
+    assert spec.qualname not in guards.order_dependent_functions()
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_counters_match_costs_exactly(name):
+    """COSTS.json is the source of truth for each kernel's counter set."""
+    spec = KERNELS[name]
+    entry = guards.cost_entry(spec.qualname)
+    assert tuple(sorted(entry.get("counters", ()))) == tuple(sorted(spec.counters))
+    assert bool(entry.get("returns_time")) == spec.returns_time
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_region_is_certified_batchable(name):
+    """Each kernel's covering region is certified and really names it."""
+    spec = KERNELS[name]
+    if spec.region is None:
+        # region-less kernels must be provably pure (COSTS witnesses it)
+        entry = guards.cost_entry(spec.qualname)
+        assert not entry.get("counters")
+        assert not entry.get("charges")
+        assert not entry.get("charges_clock")
+        return
+    region = guards.batch_region(spec.region)
+    assert region["certified"] is True
+    covered = [region["function"], *region.get("kernel_calls", ())]
+    assert spec.qualname in covered
+
+
+def test_delegated_boundaries_are_order_dependent():
+    """Everything the interpreter delegates really is ORDER_DEPENDENT.
+
+    If BATCH.json stops classifying one of these as order-dependent the
+    boundary may be shrinkable — a deliberate decision, not a silent
+    default — so the gate flags it either way.
+    """
+    order_dependent = set(guards.order_dependent_functions())
+    for qualname in DELEGATED_ORDER_DEPENDENT:
+        assert qualname in order_dependent, (
+            f"{qualname} is listed as a delegation boundary but BATCH.json "
+            f"no longer classifies it ORDER_DEPENDENT; revisit the fused "
+            f"dispatch rule in repro.engine.replay"
+        )
+
+
+def test_delegated_boundaries_never_certified_kernels():
+    """Delegated functions must not also be certified kernel-eligible."""
+    certified = set(guards.certified_functions())
+    overlap = certified.intersection(DELEGATED_ORDER_DEPENDENT)
+    assert not overlap
+
+
+def test_kernel_qualnames_disjoint_from_delegation_set():
+    """A kernel spec naming a delegated boundary is a contradiction."""
+    for name, spec in KERNELS.items():
+        assert spec.qualname not in DELEGATED_ORDER_DEPENDENT, name
+
+
+# --------------------------------------------------------------------- #
+# The gate has teeth: deliberately broken specs must raise
+# --------------------------------------------------------------------- #
+
+
+def test_uncertified_kernel_rejected():
+    spec = KernelSpec(qualname="core.memory_system.MemorySystem._access")
+    with pytest.raises(AssertionError, match="not certified in EFFECTS.json"):
+        kernels.check_kernel_certified(spec)
+
+
+def test_counter_mismatch_rejected():
+    spec = dataclasses.replace(KERNELS["tlb_probe"], counters=("tlb.hits:hit",))
+    with pytest.raises(AssertionError, match="counters"):
+        kernels.check_kernel_certified(spec)
+
+
+def test_returns_time_mismatch_rejected():
+    spec = dataclasses.replace(KERNELS["pt_walk"], returns_time=False)
+    with pytest.raises(AssertionError, match="returns_time"):
+        kernels.check_kernel_certified(spec)
+
+
+def test_effectful_kernel_requires_region():
+    """Dropping the region from a counter-bumping kernel must fail."""
+    spec = dataclasses.replace(KERNELS["tlb_probe"], region=None)
+    with pytest.raises(AssertionError, match="needs a BATCH.json region"):
+        kernels.check_kernel_certified(spec)
+
+
+def test_kernel_outside_its_region_rejected():
+    """A region that does not actually cover the kernel must fail."""
+    spec = dataclasses.replace(
+        KERNELS["tlb_probe"], region="host.plb.PLB.batch_retire"
+    )
+    with pytest.raises(AssertionError, match="not covered by BATCH.json region"):
+        kernels.check_kernel_certified(spec)
+
+
+def test_order_dependent_bypass_rejected():
+    """Promoting a delegated ORDER_DEPENDENT function to a kernel fails.
+
+    This is the headline gate: the fused path may never grow across a
+    delegation boundary without the oracles (and so this suite) agreeing.
+    """
+    for qualname in DELEGATED_ORDER_DEPENDENT:
+        spec = KernelSpec(qualname=qualname)
+        with pytest.raises(AssertionError):
+            kernels.check_kernel_certified(spec)

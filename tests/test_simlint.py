@@ -138,6 +138,48 @@ def test_sl002_clean_seeded_default_rng():
     assert violations == []
 
 
+def test_sl002_flags_bare_np_random_alias():
+    violations = lint(
+        """
+        import numpy as np
+
+        def pick_rng(rng=None):
+            return rng or np.random
+        """,
+        select=["SL002"],
+    )
+    assert codes(violations) == ["SL002"]
+    assert "bare np.random" in violations[0].message
+
+
+def test_sl002_flags_any_np_random_call_outside_allowlist():
+    # exponential is not in the historical legacy list: the namespace is
+    # flagged wholesale now, not function by function.
+    violations = lint(
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.exponential(2.0)
+        """,
+        select=["SL002"],
+    )
+    assert codes(violations) == ["SL002"]
+
+
+def test_sl002_clean_explicit_bit_generator():
+    violations = lint(
+        """
+        import numpy as np
+
+        def make_rng(seed):
+            return np.random.Generator(np.random.PCG64(seed))
+        """,
+        select=["SL002"],
+    )
+    assert violations == []
+
+
 # --------------------------------------------------------------------- #
 # SL003: float division feeding latency
 # --------------------------------------------------------------------- #
@@ -568,6 +610,21 @@ def test_sl009_clean_seeded_rng():
         select=["SL009"],
     )
     assert violations == []
+
+
+def test_sl009_flags_bare_np_random_alias():
+    violations = lint(
+        """
+        import numpy as np
+
+        def stream_for(site, rng=None):
+            return rng if rng is not None else np.random
+        """,
+        path=FAULTS_PATH,
+        select=["SL009"],
+    )
+    assert codes(violations) == ["SL009"]
+    assert "bare np.random" in violations[0].message
 
 
 def test_sl009_only_applies_inside_faults_package():

@@ -89,3 +89,46 @@ def test_document_needs_every_cell(serial_report):
     del partial[document_cells()[0]]
     with pytest.raises(KeyError):
         assemble(partial)
+
+
+@pytest.fixture(scope="module")
+def scalar_report(_plain_simulators):
+    """The same full sweep with the replay engine forced off everywhere."""
+    from repro.config import set_engine_default
+
+    previous = set_engine_default(False)
+    try:
+        return run_sweep(jobs=1)
+    finally:
+        set_engine_default(previous)
+
+
+def test_sweeps_run_with_engine_enabled():
+    """The serial/pool sweeps above exercise the engine-on configuration."""
+    from repro.config import engine_default_enabled
+
+    assert engine_default_enabled()
+
+
+def test_engine_vs_scalar_cells_identical(serial_report, scalar_report):
+    """Engine replay must not change a single cell result anywhere."""
+    for name in serial_report.results:
+        scalar = scalar_report.results[name]
+        engine = serial_report.results[name]
+        assert engine.rows == scalar.rows, f"cell {name!r} diverged with engine on"
+        assert result_hash(engine) == result_hash(scalar)
+
+
+def test_engine_document_byte_identical_to_scalar(serial_report, scalar_report):
+    assert assemble(serial_report.results) == assemble(scalar_report.results)
+
+
+def test_engine_document_matches_seed_baseline(serial_report):
+    """Zero faults + engine on reproduces the committed EXPERIMENTS.md
+    bit-for-bit (the seed baseline predates the engine entirely)."""
+    import pathlib
+
+    committed = (
+        pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    ).read_text()
+    assert assemble(serial_report.results) == committed
