@@ -36,6 +36,7 @@ Accounting events detected during evaluation become rules SC001–SC003:
 from __future__ import annotations
 
 import ast
+import builtins
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.simeffect.model import FunctionInfo, Program
@@ -53,6 +54,9 @@ from repro.analysis.simcost.model import (
     StatBinding,
     registry_stat,
 )
+
+#: Names the single-candidate call-edge fallback must never claim.
+_PY_BUILTINS = frozenset(dir(builtins))
 
 #: Most paths a function may fork into before everything is joined.
 MAX_LIVE_PATHS = 40
@@ -926,7 +930,12 @@ class _FunctionRunner:
                 if cls is not None and cls.name == name:
                     matched.append(callee)
         if not matched and len(candidates) == 1:
-            matched = list(candidates)
+            # Edges are keyed by line, so two calls on one line share a
+            # candidate list.  A bare builtin call (``x.add(sum(y))``)
+            # must not inherit the attribute call's edge.
+            if not (isinstance(node.func, ast.Name)
+                    and node.func.id in _PY_BUILTINS):
+                matched = list(candidates)
         return matched
 
     def _stat_receiver(self, node: ast.AST, frame: Frame
@@ -965,9 +974,10 @@ class _FunctionRunner:
         if CLOCK_ADVANCE_TO in callees:
             frame.path.advanced = True
             return None
-        if COUNTER_ADD in callees or (
-            isinstance(node.func, ast.Attribute) and node.func.attr == "add"
-            and self._stat_receiver(node.func.value, frame) is not None
+        if isinstance(node.func, ast.Attribute) and (
+            COUNTER_ADD in callees
+            or (node.func.attr == "add"
+                and self._stat_receiver(node.func.value, frame) is not None)
         ):
             self._apply_counter_add(node, arg_vals, frame)
             return None

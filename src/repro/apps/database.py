@@ -28,7 +28,6 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.hierarchy import FlatFlash
 from repro.core.memory_system import MemorySystem
 from repro.core.persistence import create_pmem_region
 from repro.sim.des import (
@@ -82,11 +81,9 @@ class MiniDB:
         self.system = system
         self.scheme = scheme
         self.table = system.mmap(table_pages, name="db.table")
-        self.is_flatflash = isinstance(system, FlatFlash)
-        device = getattr(system, "ssd", None)
-        self.flash_channels = (
-            device.flash.num_channels if device is not None else 8
-        )
+        self.is_flatflash = getattr(system, "supports_byte_persistence", False)
+        flash = getattr(getattr(system, "ssd", None), "flash", None)
+        self.flash_channels = flash.num_channels if flash is not None else 8
         if self.is_flatflash:
             self.log_pmem = create_pmem_region(system, log_pages, name="db.log")
         else:

@@ -202,7 +202,7 @@ class ByteGranularFS(_FileSystemBase):
         pmem_pages: int = 16,
         seed: int = 31,
     ) -> None:
-        if not isinstance(system, FlatFlash):
+        if not getattr(system, "supports_byte_persistence", False):
             raise TypeError("byte-granular persistence requires a FlatFlash system")
         super().__init__(kind, system, metadata_pages, seed)
         self.pmem: PersistentRegion = create_pmem_region(
@@ -248,9 +248,9 @@ def make_filesystem(
 ) -> Union[BlockJournalFS, ByteGranularFS]:
     """Build the right engine for a system: FlatFlash gets the byte path."""
     if byte_granular is None:
-        byte_granular = isinstance(system, FlatFlash)
+        byte_granular = getattr(system, "supports_byte_persistence", False)
     if byte_granular:
-        if not isinstance(system, FlatFlash):
+        if not getattr(system, "supports_byte_persistence", False):
             raise TypeError("byte-granular persistence requires FlatFlash")
         return ByteGranularFS(kind, system, metadata_pages=metadata_pages, seed=seed)
     return BlockJournalFS(kind, system, metadata_pages=metadata_pages, seed=seed)

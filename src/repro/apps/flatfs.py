@@ -65,7 +65,7 @@ class FlatFS:
         data_blocks: int = 64,
         name: str = "flatfs",
     ) -> None:
-        if not isinstance(system, FlatFlash):
+        if not getattr(system, "supports_byte_persistence", False):
             raise TypeError("FlatFS needs a FlatFlash system (byte persistence)")
         if not system.config.track_data:
             raise ValueError("FlatFS needs track_data=True")
@@ -280,6 +280,22 @@ class FlatFS:
         """Fence all metadata and truncate the journal."""
         self.meta.commit()
         self.wal.truncate()
+
+    def replay_journal(self) -> int:
+        """Redo the journal from the *live* WAL; returns ops redone.
+
+        The post-failover scrub for fleets: losing a device relocates its
+        volatile directory blocks as zeroed pages, while the replicated
+        WAL and inode table survive intact.  Replaying the journal through
+        normal loads (no crash happened, so the flash image may lag the
+        battery-backed SSD-Cache) rewrites exactly the dirent/bitmap slots
+        each logged op touched.  The journal is left in place so repeated
+        losses stay repairable; call :meth:`checkpoint` to truncate.
+        """
+        ops = self.wal.records()
+        for op_payload in ops:
+            self._apply_op(op_payload)
+        return len(ops)
 
     def recover(self) -> int:
         """After a crash: idempotently redo the journal; returns ops redone.

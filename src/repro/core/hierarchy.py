@@ -78,19 +78,28 @@ class FlatFlash(MemorySystem):
     """The paper's system: byte-addressable SSD + DRAM, one flat space."""
 
     name = "FlatFlash"
+    #: Capability marker: byte-granular persistence (persist-mapped pages,
+    #: posted MMIO writes + write-verify fence).  Apps gate on this rather
+    #: than the concrete class so fleets compose transparently.
+    supports_byte_persistence = True
 
     def __init__(
         self,
         config: Optional[FlatFlashConfig] = None,
         cache_policy: str = "rrip",
         promotion_manager: Optional[PromotionManager] = None,
+        device_id: Optional[int] = None,
     ) -> None:
         if config is None:
             config = FlatFlashConfig()
         super().__init__(config)
         geometry = config.geometry
         self.ssd = ByteAddressableSSD(
-            config, host_merged_ftl=True, cache_policy=cache_policy, stats=self.stats
+            config,
+            host_merged_ftl=True,
+            cache_policy=cache_policy,
+            stats=self.stats,
+            device_id=device_id,
         )
         self.dram = HostDRAM(
             geometry.dram_pages,

@@ -1,0 +1,229 @@
+"""Fleet sweep cells: device-count scaling and failover under load.
+
+Two fig9-style cells over :mod:`repro.fleet`:
+
+* ``fleet:scaling`` — a fixed random-update workload on fleets of 1, 2
+  and 4 devices (hashed striping, no replication): per-N elapsed time
+  and the cross-device load balance.
+* ``fleet:failover`` — a WAL append stream on a 3-device fleet with a
+  scheduled mid-run device kill, across replication factors 1..3: the
+  failover scorecard (durable/volatile pages lost, pages promoted and
+  re-replicated, detection and recovery time, replica write lag), plus
+  a byte-replay check of the R=2 arm.
+
+Both cells are *data-only* (no markdown sections), so the committed
+EXPERIMENTS.md stays byte-identical with or without them; their metrics
+land in ``BENCH_sweep.json``, where the failover scorecard is also
+surfaced as a headline entry.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.wal import WriteAheadLog
+from repro.config import small_config
+from repro.fleet import FlatFlashFleet, FleetConfig
+from repro.sweep.model import CellResult
+
+#: Deterministic LCG so the workload is replayable without ``random``.
+_LCG_MULT, _LCG_ADD, _LCG_MASK = 1103515245, 12345, 0x7FFFFFFF
+
+
+def _lcg_indices(seed: int, count: int, modulo: int) -> List[int]:
+    state = seed & _LCG_MASK
+    out = []
+    for _ in range(count):
+        state = (_LCG_MULT * state + _LCG_ADD) & _LCG_MASK
+        out.append(state % modulo)
+    return out
+
+
+def run_fleet_scaling(
+    device_counts: Sequence[int] = (1, 2, 4),
+    pages: int = 48,
+    updates: int = 600,
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """Random-update scaling across fleet sizes (R=1, hashed striping)."""
+    rows: List[Dict[str, object]] = []
+    baseline_ns = None
+    indices = _lcg_indices(seed, updates, pages)
+    for num_devices in device_counts:
+        fleet = FlatFlashFleet(
+            small_config(track_data=True),
+            FleetConfig(num_devices=num_devices, striping="hashed"),
+        )
+        region = fleet.mmap(pages, name="scale")
+        for op, page in enumerate(indices):
+            fleet.store_u64(region.page_addr(page), op)
+            value, _ = fleet.load_u64(region.page_addr(page))
+            assert value == op
+        elapsed_ns = fleet.clock.now
+        if baseline_ns is None:
+            baseline_ns = elapsed_ns
+        shares = []
+        for device in fleet.devices:
+            counters = device.stats.counters()
+            shares.append(
+                int(counters["mem.loads"]) + int(counters["mem.stores"])
+            )
+        rows.append(
+            {
+                "devices": num_devices,
+                "elapsed_ns": elapsed_ns,
+                "speedup_vs_one": round(baseline_ns / elapsed_ns, 4),
+                "balance_min_max": round(min(shares) / max(shares), 4),
+            }
+        )
+    return rows
+
+
+def _failover_trial(
+    replication: int, payload_count: int, kill_at_ns: int
+) -> Tuple[FlatFlashFleet, List[bytes], List[bytes]]:
+    fleet = FlatFlashFleet(
+        small_config(track_data=True),
+        FleetConfig(
+            num_devices=3,
+            replication_factor=replication,
+            scheduled_losses=((kill_at_ns, 1),),
+        ),
+    )
+    wal = WriteAheadLog.create(fleet, num_pages=4, name="fleet.wal")
+    payloads = [
+        struct.pack("<Q", index) + b"\xee" * 24 for index in range(payload_count)
+    ]
+    for payload in payloads:
+        wal.append(payload)
+    return fleet, payloads, wal.records()
+
+
+def _trial_fingerprint(fleet: FlatFlashFleet, records: List[bytes]) -> int:
+    blob = json.dumps(
+        {
+            "events": [event.as_dict() for event in fleet.failover_events],
+            "summary": fleet.fleet_summary(),
+            "elapsed_ns": fleet.clock.now,
+            "records_crc": zlib.crc32(b"".join(records)),
+        },
+        sort_keys=True,
+    )
+    return zlib.crc32(blob.encode("ascii"))
+
+
+def run_fleet_failover(
+    replication_factors: Sequence[int] = (1, 2, 3),
+    payload_count: int = 30,
+    kill_at_ns: int = 150_000,
+) -> List[Dict[str, object]]:
+    """Failover under WAL load: the per-R recovery scorecard."""
+    rows: List[Dict[str, object]] = []
+    for replication in replication_factors:
+        fleet, payloads, records = _failover_trial(
+            replication, payload_count, kill_at_ns
+        )
+        summary = fleet.fleet_summary()
+        event = fleet.failover_events[0]
+        replay = None
+        if replication == 2:
+            refleet, _payloads, rerecords = _failover_trial(
+                replication, payload_count, kill_at_ns
+            )
+            replay = int(
+                _trial_fingerprint(fleet, records)
+                == _trial_fingerprint(refleet, rerecords)
+            )
+        rows.append(
+            {
+                "replication": replication,
+                "acked_appends": len(payloads),
+                "surviving_records": len(records),
+                "durable_pages_lost": summary["durable_pages_lost"],
+                "volatile_pages_lost": summary["volatile_pages_lost"],
+                "pages_promoted": summary["pages_promoted"],
+                "pages_re_replicated": summary["pages_re_replicated"],
+                "detection_ns": event.detection_ns,
+                "recovery_ns": event.recovery_ns,
+                "replica_lag_ns": summary["replica_lag_ns"],
+                "replay_identical": replay,
+            }
+        )
+    return rows
+
+
+def cell_scaling() -> CellResult:
+    """Data-only sweep cell for the device-count scaling rows."""
+    rows = run_fleet_scaling()
+    metrics: Dict[str, object] = {}
+    for row in rows:
+        prefix = f"fleet.scaling.n{row['devices']}"
+        metrics[f"{prefix}.elapsed_ns"] = row["elapsed_ns"]
+        metrics[f"{prefix}.speedup_vs_one"] = row["speedup_vs_one"]
+        metrics[f"{prefix}.balance_min_max"] = row["balance_min_max"]
+    return CellResult(sections=[], rows=rows, metrics=metrics)
+
+
+def cell_failover() -> CellResult:
+    """Data-only sweep cell for the failover scorecard (hard-gated)."""
+    rows = run_fleet_failover()
+    scorecard: Dict[str, object] = {}
+    metrics: Dict[str, object] = {}
+    for row in rows:
+        replication = row["replication"]
+        if replication >= 2:
+            if row["durable_pages_lost"]:
+                raise AssertionError(
+                    f"R={replication} failover lost "
+                    f"{row['durable_pages_lost']} durable page(s)"
+                )
+            if row["surviving_records"] != row["acked_appends"]:
+                raise AssertionError(
+                    f"R={replication} failover lost acknowledged WAL "
+                    f"records ({row['surviving_records']}"
+                    f"/{row['acked_appends']})"
+                )
+        if row["replay_identical"] == 0:
+            raise AssertionError("R=2 failover did not replay byte-for-byte")
+        prefix = f"fleet.failover.r{replication}"
+        for key in (
+            "durable_pages_lost",
+            "volatile_pages_lost",
+            "pages_promoted",
+            "pages_re_replicated",
+            "detection_ns",
+            "recovery_ns",
+            "replica_lag_ns",
+        ):
+            metrics[f"{prefix}.{key}"] = row[key]
+    scorecard = {
+        "zero_durable_loss_r2": int(
+            all(
+                row["durable_pages_lost"] == 0
+                for row in rows
+                if row["replication"] >= 2
+            )
+        ),
+        "replay_identical": next(
+            row["replay_identical"] for row in rows if row["replication"] == 2
+        ),
+        "recovery_ns_r2": next(
+            row["recovery_ns"] for row in rows if row["replication"] == 2
+        ),
+        "detection_ns_r2": next(
+            row["detection_ns"] for row in rows if row["replication"] == 2
+        ),
+    }
+    metrics["scorecard"] = scorecard
+    return CellResult(sections=[], rows=rows, metrics=metrics)
+
+
+__all__ = [
+    "run_fleet_scaling",
+    "run_fleet_failover",
+    "cell_scaling",
+    "cell_failover",
+]

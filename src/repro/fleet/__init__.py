@@ -1,0 +1,30 @@
+"""Multi-device FlatFlash fleet: sharding, replication, failover.
+
+See :mod:`repro.fleet.fleet` for the composition model and
+``docs/fleet.md`` for the design narrative.
+"""
+
+from repro.fleet.config import STRIPING_POLICIES, FleetConfig
+from repro.fleet.fleet import FailoverEvent, FlatFlashFleet, FleetExhaustedError
+from repro.fleet.replication import ReplicaMap
+from repro.fleet.router import (
+    BlockedPolicy,
+    HashedPolicy,
+    ShardRouter,
+    StripedPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "BlockedPolicy",
+    "FailoverEvent",
+    "FlatFlashFleet",
+    "FleetConfig",
+    "FleetExhaustedError",
+    "HashedPolicy",
+    "ReplicaMap",
+    "ShardRouter",
+    "STRIPING_POLICIES",
+    "StripedPolicy",
+    "make_policy",
+]

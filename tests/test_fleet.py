@@ -1,0 +1,257 @@
+"""Fleet composition: identity, failover durability, determinism.
+
+The three non-negotiable invariants of the sharded fleet:
+
+* a zero-fault single-device fleet is bit-identical to a bare FlatFlash
+  (same stats, same clock, same bytes);
+* killing any single device with R >= 2 loses zero durable bytes — the
+  WAL prefix and FlatFS fsck checkers pass after failover;
+* every failover run replays byte-for-byte from its configuration.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.apps.flatfs import FlatFS
+from repro.apps.wal import WriteAheadLog
+from repro.config import small_config
+from repro.core.hierarchy import FlatFlash
+from repro.faults.plan import FaultConfig
+from repro.faults.recovery import check_wal_prefix
+from repro.fleet import FlatFlashFleet, FleetConfig, FleetExhaustedError
+
+
+def _mixed_workload(system, pages=24, rounds=3):
+    region = system.mmap(pages, name="work")
+    for round_index in range(rounds):
+        for page in range(pages):
+            system.store_u64(region.page_addr(page), round_index * 1_000 + page)
+        for page in range(pages):
+            value, _ = system.load_u64(region.page_addr(page))
+            assert value == round_index * 1_000 + page
+    return region
+
+
+def _fingerprint(fleet, extra=b""):
+    blob = json.dumps(
+        {
+            "events": [event.as_dict() for event in fleet.failover_events],
+            "summary": fleet.fleet_summary(),
+            "elapsed_ns": fleet.clock.now,
+            "extra_crc": zlib.crc32(extra),
+        },
+        sort_keys=True,
+    )
+    return zlib.crc32(blob.encode("ascii"))
+
+
+# --------------------------------------------------------------------- #
+# Identity: one device, no faults == bare FlatFlash
+# --------------------------------------------------------------------- #
+
+
+def test_single_device_fleet_is_bit_identical_to_flatflash():
+    bare = FlatFlash(small_config(track_data=True))
+    fleet = FlatFlashFleet(
+        small_config(track_data=True), FleetConfig(num_devices=1)
+    )
+    _mixed_workload(bare)
+    _mixed_workload(fleet)
+    assert fleet.clock.now == bare.clock.now
+    member = dict(fleet.devices[0].stats.snapshot())
+    baseline = dict(bare.stats.snapshot())
+    diverged = {
+        key
+        for key in set(member) | set(baseline)
+        if member.get(key) != baseline.get(key)
+    }
+    assert not diverged, f"member device stats diverged: {sorted(diverged)}"
+
+
+def test_single_device_fleet_returns_identical_bytes():
+    payload = bytes(range(256)) + b"x" * 44
+    loads = []
+    for system in (
+        FlatFlash(small_config(track_data=True)),
+        FlatFlashFleet(small_config(track_data=True), FleetConfig(num_devices=1)),
+    ):
+        region = system.mmap(4, name="bytes")
+        system.store(region.addr(100), len(payload), payload)
+        loads.append(system.load(region.addr(100), len(payload)).data)
+    assert loads[0] == loads[1] == payload
+
+
+# --------------------------------------------------------------------- #
+# Failover: kill any device, lose zero durable bytes
+# --------------------------------------------------------------------- #
+
+
+def _wal_run(replication, kills, payload_count=30):
+    fleet = FlatFlashFleet(
+        small_config(track_data=True),
+        FleetConfig(
+            num_devices=3,
+            replication_factor=replication,
+            scheduled_losses=kills,
+        ),
+    )
+    wal = WriteAheadLog.create(fleet, num_pages=4, name="t.wal")
+    payloads = [
+        struct.pack("<Q", index) + b"\xcd" * 24 for index in range(payload_count)
+    ]
+    for payload in payloads:
+        wal.append(payload)
+    return fleet, wal, payloads
+
+
+@pytest.mark.parametrize("victim", [0, 1, 2])
+def test_single_device_kill_loses_no_durable_bytes(victim):
+    fleet, wal, payloads = _wal_run(2, ((150_000, victim),))
+    summary = fleet.fleet_summary()
+    assert summary["device_losses"] == 1
+    assert summary["durable_pages_lost"] == 0
+    assert len(fleet.failover_events) == 1
+    event = fleet.failover_events[0]
+    assert event.device == victim
+    assert event.recovery_ns >= 0
+    # Every acknowledged append is readable through normal loads after
+    # the failover (no crash: the battery-backed SSD-Cache is durable).
+    records = wal.records()
+    assert len(records) == len(payloads)
+    assert check_wal_prefix(payloads, records) == []
+
+
+def test_unreplicated_fleet_loses_durable_pages():
+    # The control arm: R=1 has no replicas, so a kill that lands on WAL
+    # pages must surface as durable loss (this is what replication buys).
+    fleet, _wal, _payloads = _wal_run(1, ((150_000, 0),))
+    assert fleet.fleet_summary()["durable_pages_lost"] > 0
+
+
+def test_sequential_double_kill_with_re_replication_survives():
+    fleet, wal, payloads = _wal_run(
+        2, ((120_000, 0), (260_000, 1)), payload_count=36
+    )
+    summary = fleet.fleet_summary()
+    assert summary["device_losses"] == 2
+    assert summary["durable_pages_lost"] == 0
+    assert check_wal_prefix(payloads, wal.records()) == []
+
+
+def test_exhausting_the_fleet_raises():
+    with pytest.raises(FleetExhaustedError):
+        _wal_run(2, ((50_000, 0), (60_000, 1), (70_000, 2)), payload_count=60)
+
+
+def test_failover_replays_byte_for_byte():
+    runs = []
+    for _ in range(2):
+        fleet, wal, _payloads = _wal_run(2, ((150_000, 1),))
+        runs.append(_fingerprint(fleet, b"".join(wal.records())))
+    assert runs[0] == runs[1]
+
+
+def test_flatfs_survives_device_loss_after_journal_replay():
+    fleet = FlatFlashFleet(
+        small_config(track_data=True),
+        FleetConfig(
+            num_devices=3,
+            replication_factor=2,
+            scheduled_losses=((200_000, 1),),
+        ),
+    )
+    fs = FlatFS(fleet, num_inodes=16, data_blocks=24, name="fs")
+    payloads = {}
+    seen = 0
+    for index in range(6):
+        path = f"/f{index}"
+        fs.create(path)
+        fs.write_file(path, bytes([index]) * (300 + 40 * index))
+        payloads[path] = 300 + 40 * index
+        # The recovery discipline: replay the (replicated, durable)
+        # journal into relocated directory blocks as soon as a failover
+        # is observed, before further namespace ops reuse zeroed slots.
+        if len(fleet.failover_events) > seen:
+            fs.replay_journal()
+            seen = len(fleet.failover_events)
+    assert seen == 1
+    assert fs.fsck() == []
+    assert sorted(fs.listdir("/")) == [f"f{index}" for index in range(6)]
+    assert all(fs.stat(path)["size"] == size for path, size in payloads.items())
+    assert fleet.fleet_summary()["durable_pages_lost"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Fault planes: per-device streams and the device_loss site
+# --------------------------------------------------------------------- #
+
+
+def test_per_device_fault_schedules_are_independent():
+    """Satellite invariant: a device's fault schedule is a pure function
+    of (seed, device namespace, site, draw index) — other devices' draws,
+    or even their existence, never perturb it."""
+    from repro.faults.plan import FaultInjector
+
+    config = FaultConfig(
+        seed=3, pcie_timeout_rate=0.05, device_loss_rate=0.01
+    )
+    sites = ("pcie.mmio_write.timeout", "pcie.device_loss")
+    draws = 300
+
+    def schedule(injector, site):
+        return [injector.fires(site) for _ in range(draws)]
+
+    # Reference: each device's stream drawn alone.
+    reference = {
+        (ns, site): schedule(FaultInjector(config, namespace=ns), site)
+        for ns in ("dev0", "dev1", "dev2")
+        for site in sites
+    }
+    # Interleaved: three injectors drawing in lockstep (a fleet's view).
+    injectors = {ns: FaultInjector(config, namespace=ns) for ns in ("dev0", "dev1", "dev2")}
+    interleaved = {(ns, site): [] for ns in injectors for site in sites}
+    for _ in range(draws):
+        for ns, injector in injectors.items():
+            for site in sites:
+                interleaved[(ns, site)].append(injector.fires(site))
+    assert interleaved == reference
+    # The streams are genuinely distinct per device...
+    assert (
+        reference[("dev0", "pcie.mmio_write.timeout")]
+        != reference[("dev1", "pcie.mmio_write.timeout")]
+    )
+    # ...and the un-namespaced (single-device) stream is preserved.
+    legacy = schedule(FaultInjector(config), "pcie.mmio_write.timeout")
+    relegacy = schedule(FaultInjector(config, namespace=""), "pcie.mmio_write.timeout")
+    assert legacy == relegacy
+    assert legacy != reference[("dev0", "pcie.mmio_write.timeout")]
+
+
+def test_injected_device_loss_fires_and_fails_over():
+    # With this (seed, rate, workload) at least one device's stream
+    # fires without exhausting the fleet — deterministic because
+    # per-device streams are seed-derived.
+    faults = FaultConfig(seed=0, device_loss_rate=0.01)
+    fleet = FlatFlashFleet(
+        small_config(track_data=True, faults=faults),
+        FleetConfig(num_devices=3, replication_factor=2),
+    )
+    wal = WriteAheadLog.create(fleet, num_pages=4, name="f.wal")
+    payloads = [struct.pack("<Q", index) * 4 for index in range(1, 37)]
+    for payload in payloads:
+        wal.append(payload)
+    summary = fleet.fleet_summary()
+    assert 1 <= summary["device_losses"] < 3
+    assert summary["durable_pages_lost"] == 0
+    assert check_wal_prefix(payloads, wal.records()) == []
+    # Every *declared* failover had its PCIe link killed first; a link
+    # can also die near the end of the workload without accumulating
+    # enough consecutive failures for the ladder to declare it.
+    links_down = sum(
+        int(device.stats.counters()["pcie.device_losses"])
+        for device in fleet.devices
+    )
+    assert links_down >= summary["device_losses"] >= 1

@@ -483,6 +483,21 @@ def test_sc006_clean_when_every_field_is_read():
     assert violations == []
 
 
+def test_builtin_call_inside_counter_add_does_not_crash():
+    # Call edges are keyed by line, so ``counter.add(sum(xs))`` puts
+    # ``Counter.add`` as the lone candidate for the builtin call too;
+    # the path evaluator must not mistake ``sum`` for the counter add.
+    snippet = DEV_HEADER + """
+        class App:
+            def __init__(self, dev: Dev) -> None:
+                self.dev = dev
+
+            def tally(self, xs) -> None:
+                self.dev._reads.add(sum(xs) - min(xs))
+    """
+    assert check(snippet) == []
+
+
 # --------------------------------------------------------------------- #
 # Suppressions and --select
 # --------------------------------------------------------------------- #
